@@ -1,0 +1,227 @@
+//! The per-miss cost model behind Tables 1 and 2.
+
+use core::fmt;
+
+use vmp_mem::MemTimings;
+use vmp_types::{Nanos, PageSize};
+
+/// The cost of one software-handled cache miss (paper §5.1, Table 1).
+///
+/// The handler's ≈13.6 µs of software time is split into three phases
+/// whose overlap with the block copier reproduces Table 1:
+///
+/// * `pre` — exception entry, state save on the supervisor stack in
+///   local memory, decode of the faulting reference;
+/// * `mid` — virtual-to-physical mapping lookup and victim bookkeeping;
+///   when the victim is modified this phase runs *concurrently with the
+///   write-back transfer* (the CPU executes out of local memory while
+///   the copier owns the bus);
+/// * `post` — cache-flag setup, data-structure update, return from
+///   exception — then the read transfer completes before the retried
+///   reference can proceed.
+///
+/// Elapsed time is therefore:
+///
+/// * clean victim: `pre + mid + post + T` (one transfer `T`);
+/// * modified victim: `pre + max(mid, T) + post + T` (write-back
+///   overlapped with `mid`, then the read).
+///
+/// With the paper's transfer times this gives 17.0/20.2/26.6 µs (clean)
+/// and 17.0/23.4/36.2 µs (modified) for 128/256/512-byte pages — Table 1
+/// within its rounding (17/20/26 and 17/23/36).
+///
+/// # Examples
+///
+/// ```
+/// use vmp_analytic::MissCostModel;
+/// use vmp_types::PageSize;
+///
+/// let m = MissCostModel::paper(PageSize::S128);
+/// assert_eq!(m.elapsed(false).as_micros_f64(), 17.0);
+/// assert_eq!(m.elapsed(true).as_micros_f64(), 17.0);
+/// assert_eq!(m.bus_time(true).as_micros_f64(), 6.8); // paper rounds to 7.0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissCostModel {
+    /// Cache page size (block-transfer length).
+    pub page_size: PageSize,
+    /// Memory/bus block-transfer timing.
+    pub mem: MemTimings,
+    /// Software phase before any transfer can start.
+    pub pre: Nanos,
+    /// Software phase overlappable with a write-back transfer.
+    pub mid: Nanos,
+    /// Software phase after which the read transfer must still finish.
+    pub post: Nanos,
+}
+
+impl MissCostModel {
+    /// The paper's calibration: 6.0 + 3.4 + 4.2 µs of handler software
+    /// (≈33 instructions at 2.4 MIPS) and prototype transfer timing.
+    pub fn paper(page_size: PageSize) -> Self {
+        MissCostModel {
+            page_size,
+            mem: MemTimings::default(),
+            pre: Nanos::from_ns(6_000),
+            mid: Nanos::from_ns(3_400),
+            post: Nanos::from_ns(4_200),
+        }
+    }
+
+    /// Total software time of the handler (no transfers).
+    pub fn software(&self) -> Nanos {
+        self.pre + self.mid + self.post
+    }
+
+    /// One page block-transfer time.
+    pub fn transfer(&self) -> Nanos {
+        self.mem.page_transfer(self.page_size)
+    }
+
+    /// Elapsed time of one miss (Table 1, "Elapsed Time").
+    pub fn elapsed(&self, victim_modified: bool) -> Nanos {
+        let t = self.transfer();
+        if victim_modified {
+            self.pre + self.mid.max(t) + self.post + t
+        } else {
+            self.software() + t
+        }
+    }
+
+    /// Bus occupancy of one miss (Table 1, "Bus Time"): one transfer for
+    /// a clean victim, two when the victim must be written back.
+    pub fn bus_time(&self, victim_modified: bool) -> Nanos {
+        if victim_modified {
+            self.transfer() * 2
+        } else {
+            self.transfer()
+        }
+    }
+
+    /// The average miss cost for a given clean-victim fraction
+    /// (Table 2 uses 0.75).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clean_fraction` is within `[0, 1]`.
+    pub fn average(&self, clean_fraction: f64) -> AverageMissCost {
+        assert!(
+            (0.0..=1.0).contains(&clean_fraction),
+            "clean fraction must be a probability"
+        );
+        let mix = |clean: Nanos, dirty: Nanos| {
+            let ns = clean.as_ns() as f64 * clean_fraction
+                + dirty.as_ns() as f64 * (1.0 - clean_fraction);
+            Nanos::from_ns(ns.round() as u64)
+        };
+        AverageMissCost {
+            elapsed: mix(self.elapsed(false), self.elapsed(true)),
+            bus: mix(self.bus_time(false), self.bus_time(true)),
+        }
+    }
+}
+
+/// Average per-miss elapsed and bus time (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AverageMissCost {
+    /// Mean elapsed time per miss.
+    pub elapsed: Nanos,
+    /// Mean bus occupancy per miss.
+    pub bus: Nanos,
+}
+
+impl fmt::Display for AverageMissCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "elapsed {:.2}us, bus {:.2}us",
+            self.elapsed.as_micros_f64(),
+            self.bus.as_micros_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(model_ns: Nanos) -> f64 {
+        model_ns.as_micros_f64()
+    }
+
+    #[test]
+    fn table1_elapsed_within_rounding() {
+        // Paper Table 1: (page, modified) → elapsed µs.
+        let cases = [
+            (PageSize::S128, false, 17.0),
+            (PageSize::S256, false, 20.0),
+            (PageSize::S512, false, 26.0),
+            (PageSize::S128, true, 17.0),
+            (PageSize::S256, true, 23.0),
+            (PageSize::S512, true, 36.0),
+        ];
+        for (page, modified, paper) in cases {
+            let got = us(MissCostModel::paper(page).elapsed(modified));
+            assert!(
+                (got - paper).abs() <= 0.7,
+                "{page} modified={modified}: model {got} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_bus_within_rounding() {
+        let cases = [
+            (PageSize::S128, false, 3.5),
+            (PageSize::S256, false, 6.6),
+            (PageSize::S512, false, 13.0),
+            (PageSize::S128, true, 7.0),
+            (PageSize::S256, true, 13.2),
+            (PageSize::S512, true, 26.0),
+        ];
+        for (page, modified, paper) in cases {
+            let got = us(MissCostModel::paper(page).bus_time(modified));
+            assert!(
+                (got - paper).abs() <= 0.25,
+                "{page} modified={modified}: model {got} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_averages() {
+        // Paper Table 2 (75 % clean): 128 B → 17 / 4.4 µs,
+        // 256 B → 21.29 / 8.316 µs (we get 21.0 / 8.25 before their
+        // rounding conventions).
+        let a128 = MissCostModel::paper(PageSize::S128).average(0.75);
+        assert!((us(a128.elapsed) - 17.0).abs() < 0.1, "{a128}");
+        assert!((us(a128.bus) - 4.4).abs() < 0.2, "{a128}");
+        let a256 = MissCostModel::paper(PageSize::S256).average(0.75);
+        assert!((us(a256.elapsed) - 21.29).abs() < 0.5, "{a256}");
+        assert!((us(a256.bus) - 8.316).abs() < 0.2, "{a256}");
+    }
+
+    #[test]
+    fn software_time_near_paper_15us() {
+        // "the software time associated with miss handling (about 15 µsecs)"
+        let sw = us(MissCostModel::paper(PageSize::S256).software());
+        assert!((12.0..=16.0).contains(&sw), "software time {sw}");
+    }
+
+    #[test]
+    fn writeback_overlap_saves_time() {
+        // For pages where the transfer exceeds `mid`, the modified case
+        // costs less than software + two serial transfers.
+        let m = MissCostModel::paper(PageSize::S512);
+        let naive = m.software() + m.transfer() * 2;
+        assert!(m.elapsed(true) < naive);
+        // And is never faster than the clean case.
+        assert!(m.elapsed(true) >= m.elapsed(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn average_rejects_bad_fraction() {
+        let _ = MissCostModel::paper(PageSize::S128).average(1.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Processor performance versus miss ratio (Figure 3).
+
+use vmp_types::Nanos;
+
+/// The paper's processor parameters (§5.1 footnote 9, citing MacGregor):
+/// a 16 MHz 68020 at ≈7 clocks/instruction → 2.4 MIPS, with ≈1.2 memory
+/// references per instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorModel {
+    /// Instruction execution rate in MIPS (instructions per µs).
+    pub mips: f64,
+    /// Memory references per instruction.
+    pub refs_per_instr: f64,
+}
+
+impl Default for ProcessorModel {
+    fn default() -> Self {
+        ProcessorModel { mips: 2.4, refs_per_instr: 1.2 }
+    }
+}
+
+impl ProcessorModel {
+    /// Mean time between memory references, in nanoseconds.
+    pub fn ref_interval(&self) -> Nanos {
+        Nanos::from_ns((1000.0 / (self.mips * self.refs_per_instr)).round() as u64)
+    }
+}
+
+/// Normalized processor performance at a given miss ratio (Figure 3).
+///
+/// Performance is the fraction of time the processor spends executing
+/// rather than waiting on miss handling:
+///
+/// ```text
+/// perf = 1 / (1 + miss_ratio · refs_per_instr · mips · elapsed_per_miss)
+/// ```
+///
+/// which is the paper's formula with `elapsed_per_miss` the average miss
+/// cost of Table 2. At the paper's example point — 256-byte pages,
+/// 128 KB cache, 0.24 % miss ratio — this yields ≈87 %.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_analytic::{processor_performance, ProcessorModel};
+/// use vmp_types::Nanos;
+///
+/// let perf = processor_performance(0.0, Nanos::from_us(21), &ProcessorModel::default());
+/// assert_eq!(perf, 1.0); // no misses → full speed
+/// ```
+pub fn processor_performance(
+    miss_ratio: f64,
+    elapsed_per_miss: Nanos,
+    proc: &ProcessorModel,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&miss_ratio), "miss ratio must be a probability");
+    let elapsed_us = elapsed_per_miss.as_ns() as f64 / 1000.0;
+    1.0 / (1.0 + miss_ratio * proc.refs_per_instr * proc.mips * elapsed_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MissCostModel;
+    use vmp_types::PageSize;
+
+    #[test]
+    fn paper_example_point() {
+        // §5.2: 256-byte pages, 128 KB cache → 0.24 % miss ratio → 87 %.
+        let avg = MissCostModel::paper(PageSize::S256).average(0.75);
+        let perf = processor_performance(0.0024, avg.elapsed, &ProcessorModel::default());
+        assert!((perf - 0.87).abs() < 0.01, "perf {perf}");
+    }
+
+    #[test]
+    fn monotone_decreasing_in_miss_ratio() {
+        let avg = MissCostModel::paper(PageSize::S256).average(0.75);
+        let p = ProcessorModel::default();
+        let mut last = 1.1;
+        for i in 0..40 {
+            let m = i as f64 * 0.001;
+            let perf = processor_performance(m, avg.elapsed, &p);
+            assert!(perf < last, "not decreasing at {m}");
+            last = perf;
+        }
+    }
+
+    #[test]
+    fn larger_pages_cost_more_per_miss() {
+        // At a fixed miss ratio the 512-byte page is slower per miss —
+        // which is why Figure 3 must not be used to compare page sizes
+        // directly (the miss ratio itself depends on page size).
+        let p = ProcessorModel::default();
+        let m = 0.005;
+        let perf128 =
+            processor_performance(m, MissCostModel::paper(PageSize::S128).average(0.75).elapsed, &p);
+        let perf512 =
+            processor_performance(m, MissCostModel::paper(PageSize::S512).average(0.75).elapsed, &p);
+        assert!(perf128 > perf512);
+    }
+
+    #[test]
+    fn ref_interval() {
+        // 2.4 MIPS × 1.2 refs/instr = 2.88 refs/µs → ≈347 ns between refs.
+        assert_eq!(ProcessorModel::default().ref_interval(), Nanos::from_ns(347));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_miss_ratio() {
+        let _ = processor_performance(1.5, Nanos::from_us(20), &ProcessorModel::default());
+    }
+}

@@ -1,0 +1,191 @@
+//! The §5.3 queueing analysis: how many processors fit on one bus.
+//!
+//! The paper uses "a simple single-server (the bus) multiple-client
+//! (several processors) queueing model" and concludes that about five
+//! processors can share the VMEbus before contention dominates. The
+//! classical closed-form for that model is the *machine repairman* /
+//! closed single-station network, solved exactly by Mean Value Analysis.
+
+use core::fmt;
+
+use vmp_types::Nanos;
+
+/// Result of the closed queueing model for `n` processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvaResult {
+    /// Number of client processors.
+    pub n: usize,
+    /// System throughput in bus requests per nanosecond.
+    pub throughput: f64,
+    /// Mean response time (queueing + service) of one bus request.
+    pub response: Nanos,
+    /// Bus (server) utilization, 0–1.
+    pub bus_utilization: f64,
+    /// Per-processor efficiency: achieved request rate relative to a
+    /// contention-free processor (1.0 = no slowdown from bus contention).
+    pub efficiency: f64,
+}
+
+impl fmt::Display for MvaResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={}: bus {:.1}%, response {}, efficiency {:.1}%",
+            self.n,
+            100.0 * self.bus_utilization,
+            self.response,
+            100.0 * self.efficiency
+        )
+    }
+}
+
+/// Exact Mean Value Analysis of `n` processors sharing one bus.
+///
+/// Each processor cycles between `think` time off the bus (computing,
+/// hitting in its cache, and the non-bus part of miss handling) and one
+/// bus request of `service` time (the block transfers of a miss). The
+/// recursion is the standard MVA for a closed network with one queueing
+/// station and one delay station:
+///
+/// ```text
+/// R(n) = S · (1 + Q(n-1))
+/// X(n) = n / (Z + R(n))
+/// Q(n) = X(n) · R(n)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use vmp_analytic::mva;
+/// use vmp_types::Nanos;
+///
+/// // Service 8.25 µs per miss, 70 µs of think time between misses:
+/// let r = mva(5, Nanos::from_ns(8250), Nanos::from_ns(70_000));
+/// assert!(r.bus_utilization < 0.55);
+/// assert!(r.efficiency > 0.9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `service` is zero.
+pub fn mva(n: usize, service: Nanos, think: Nanos) -> MvaResult {
+    assert!(n > 0, "need at least one processor");
+    assert!(service > Nanos::ZERO, "service time must be non-zero");
+    let s = service.as_ns() as f64;
+    let z = think.as_ns() as f64;
+    let mut queue = 0.0; // Q(0)
+    let mut response = s;
+    let mut throughput = 0.0;
+    for k in 1..=n {
+        response = s * (1.0 + queue);
+        throughput = k as f64 / (z + response);
+        queue = throughput * response;
+    }
+    let solo_rate = 1.0 / (z + s);
+    MvaResult {
+        n,
+        throughput,
+        response: Nanos::from_ns(response.round() as u64),
+        bus_utilization: throughput * s,
+        efficiency: throughput / (n as f64 * solo_rate),
+    }
+}
+
+/// The largest processor count whose per-processor efficiency stays at or
+/// above `threshold` (e.g. 0.9 for "no more than 10 % degradation").
+///
+/// # Panics
+///
+/// Panics on invalid `service` or a `threshold` outside `(0, 1]`.
+pub fn max_processors(service: Nanos, think: Nanos, threshold: f64) -> usize {
+    assert!((0.0..=1.0).contains(&threshold) && threshold > 0.0, "threshold must be in (0,1]");
+    let mut n = 1;
+    loop {
+        let next = mva(n + 1, service, think);
+        if next.efficiency < threshold {
+            return n;
+        }
+        n += 1;
+        if n > 1024 {
+            return n; // bus is effectively uncontended at this load
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> Nanos {
+        Nanos::from_us(x)
+    }
+
+    #[test]
+    fn single_processor_baseline() {
+        let r = mva(1, us(8), us(72));
+        assert!((r.bus_utilization - 0.1).abs() < 1e-9);
+        assert_eq!(r.response, us(8));
+        assert!((r.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_grows_and_saturates() {
+        let mut last = 0.0;
+        for n in 1..=30 {
+            let r = mva(n, us(8), us(72));
+            assert!(r.bus_utilization > last);
+            assert!(r.bus_utilization <= 1.0 + 1e-9);
+            last = r.bus_utilization;
+        }
+        // Heavily loaded: the bus saturates near 100 %.
+        assert!(mva(50, us(8), us(72)).bus_utilization > 0.97);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_n() {
+        let mut last = 2.0;
+        for n in 1..=20 {
+            let r = mva(n, us(8), us(72));
+            assert!(r.efficiency <= last + 1e-12);
+            last = r.efficiency;
+        }
+    }
+
+    #[test]
+    fn paper_scale_five_processors() {
+        // With the Table 2 miss costs at ≈0.5 % miss ratio, a processor
+        // spends ≈8.25 µs of bus time per ≈78 µs cycle (≈10 % each). The
+        // paper estimates up to 5 processors are feasible: at N=5 each
+        // processor should retain well over 90 % efficiency, and beyond
+        // ~10-15 processors the bus becomes the bottleneck.
+        let service = Nanos::from_ns(8_250);
+        let think = Nanos::from_ns(70_500);
+        let five = mva(5, service, think);
+        assert!(five.efficiency > 0.9, "{five}");
+        let many = mva(20, service, think);
+        assert!(many.efficiency < 0.5, "{many}");
+        let feasible = max_processors(service, think, 0.95);
+        assert!(
+            (4..=9).contains(&feasible),
+            "feasible processor count {feasible} out of the paper's band"
+        );
+    }
+
+    #[test]
+    fn response_has_queueing_delay() {
+        let solo = mva(1, us(10), us(10));
+        let crowd = mva(8, us(10), us(10));
+        assert!(crowd.response > solo.response);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_processors() {
+        let _ = mva(0, us(1), us(1));
+    }
+
+    #[test]
+    fn display_mentions_bus() {
+        assert!(mva(2, us(5), us(50)).to_string().contains("bus"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Plain-text table rendering for the benchmark harnesses.
+
+/// Renders an aligned plain-text table, used by the `vmp-bench` harnesses
+/// to print each paper table/figure in a reviewable form.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_analytic::render_table;
+///
+/// let out = render_table(
+///     &["page", "elapsed"],
+///     &[vec!["128".into(), "17.0".into()], vec!["256".into(), "20.2".into()]],
+/// );
+/// assert!(out.contains("page"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str("| ");
+            out.push_str(cell);
+            out.push_str(&" ".repeat(widths[i] - cell.chars().count() + 1));
+        }
+        out.push_str("|\n");
+    };
+    sep(&mut out);
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    sep(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // All lines same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{t}");
+        assert!(t.contains("| yyyy"));
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let t = render_table(&["only", "headers"], &[]);
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_jagged_rows() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

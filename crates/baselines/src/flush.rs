@@ -1,0 +1,176 @@
+//! The MIPS-X compiler-controlled flush scheme (§6).
+
+use core::fmt;
+
+use vmp_mem::MemTimings;
+use vmp_types::{Nanos, PageSize};
+
+/// Traffic model of compiler-controlled cache flushing versus VMP's
+/// flush-on-demand.
+///
+/// In the MIPS-X proposal the compiler emits flush instructions so that
+/// *all* shared data is pushed out of the cache around every
+/// synchronization point — whether or not another processor actually
+/// touches it. VMP instead flushes exactly the pages a conflicting
+/// access demands (§6: "the MIPS-X scheme must flush all shared data in
+/// anticipation of shared access whereas the VMP scheme only flushes on
+/// demand. It remains to be seen which is most expensive and how
+/// application-sensitive the behavior is" — this model quantifies that
+/// sensitivity).
+///
+/// Parameters describe a synchronization epoch: how many shared pages a
+/// processor has cached (`shared_pages`), what fraction of them are
+/// dirty, and what fraction another processor *actually* reads or writes
+/// in the next epoch (`true_sharing`).
+///
+/// # Examples
+///
+/// ```
+/// use vmp_baselines::CompilerFlushModel;
+/// use vmp_types::PageSize;
+///
+/// let m = CompilerFlushModel::new(PageSize::S256, 64, 0.25);
+/// let c = m.compare(0.1); // only 10 % of shared data actually shared
+/// assert!(c.demand_bus_time < c.flush_bus_time);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerFlushModel {
+    page: PageSize,
+    timings: MemTimings,
+    /// Shared pages cached per processor per epoch.
+    pub shared_pages: u64,
+    /// Fraction of those pages dirty at the synchronization point.
+    pub dirty_fraction: f64,
+}
+
+/// The per-epoch bus cost of the two schemes at one true-sharing level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushComparison {
+    /// Fraction of shared pages actually touched by another processor.
+    pub true_sharing: f64,
+    /// Bus time per epoch under compiler-anticipatory flushing.
+    pub flush_bus_time: Nanos,
+    /// Bus time per epoch under VMP flush-on-demand.
+    pub demand_bus_time: Nanos,
+}
+
+impl FlushComparison {
+    /// How many times more bus time the anticipatory scheme consumes.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.demand_bus_time == Nanos::ZERO {
+            f64::INFINITY
+        } else {
+            self.flush_bus_time.as_ns() as f64 / self.demand_bus_time.as_ns() as f64
+        }
+    }
+}
+
+impl fmt::Display for FlushComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sharing {:.0}%: flush {} vs demand {} ({:.1}x)",
+            100.0 * self.true_sharing,
+            self.flush_bus_time,
+            self.demand_bus_time,
+            self.overhead_ratio(),
+        )
+    }
+}
+
+impl CompilerFlushModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dirty_fraction` is a probability.
+    pub fn new(page: PageSize, shared_pages: u64, dirty_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dirty_fraction), "dirty fraction is a probability");
+        CompilerFlushModel { page, timings: MemTimings::default(), shared_pages, dirty_fraction }
+    }
+
+    /// Per-epoch bus cost of both schemes when `true_sharing` of the
+    /// shared pages are actually referenced remotely next epoch.
+    ///
+    /// * Anticipatory: write back every dirty shared page at the sync
+    ///   point, then re-fetch every shared page on next use.
+    /// * On demand: only the truly-shared pages move — a write-back (if
+    ///   dirty) plus a fetch by the consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `true_sharing` is a probability.
+    pub fn compare(&self, true_sharing: f64) -> FlushComparison {
+        assert!((0.0..=1.0).contains(&true_sharing), "sharing fraction is a probability");
+        let transfer = self.timings.page_transfer(self.page).as_ns() as f64;
+        let pages = self.shared_pages as f64;
+        // Anticipatory: dirty pages written back + all pages re-fetched.
+        let flush = pages * self.dirty_fraction * transfer + pages * transfer;
+        // Demand: only truly-shared pages, write-back (if dirty) + fetch.
+        let moved = pages * true_sharing;
+        let demand = moved * self.dirty_fraction * transfer + moved * transfer;
+        FlushComparison {
+            true_sharing,
+            flush_bus_time: Nanos::from_ns(flush.round() as u64),
+            demand_bus_time: Nanos::from_ns(demand.round() as u64),
+        }
+    }
+
+    /// Sweeps the comparison over a range of true-sharing levels (the
+    /// "application sensitivity" axis of §6).
+    pub fn sweep(&self, levels: &[f64]) -> Vec<FlushComparison> {
+        levels.iter().map(|&s| self.compare(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CompilerFlushModel {
+        CompilerFlushModel::new(PageSize::S256, 64, 0.25)
+    }
+
+    #[test]
+    fn anticipatory_cost_is_sharing_independent() {
+        let m = model();
+        let a = m.compare(0.0);
+        let b = m.compare(1.0);
+        assert_eq!(a.flush_bus_time, b.flush_bus_time);
+    }
+
+    #[test]
+    fn demand_wins_at_low_sharing() {
+        let c = model().compare(0.05);
+        assert!(c.overhead_ratio() > 10.0, "ratio {}", c.overhead_ratio());
+    }
+
+    #[test]
+    fn schemes_converge_at_full_sharing() {
+        let c = model().compare(1.0);
+        assert_eq!(c.flush_bus_time, c.demand_bus_time);
+        assert!((c.overhead_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sharing_demand_is_free() {
+        let c = model().compare(0.0);
+        assert_eq!(c.demand_bus_time, Nanos::ZERO);
+        assert!(c.overhead_ratio().is_infinite());
+        assert!(!c.to_string().is_empty());
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_demand_cost() {
+        let cs = model().sweep(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        for w in cs.windows(2) {
+            assert!(w[0].demand_bus_time <= w[1].demand_bus_time);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_fractions() {
+        let _ = model().compare(1.5);
+    }
+}

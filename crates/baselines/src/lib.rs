@@ -1,0 +1,49 @@
+//! Baselines for the paper's related-work comparison (§6).
+//!
+//! The paper contrasts VMP's software-controlled ownership protocol with
+//! two alternatives:
+//!
+//! * **snoopy write-broadcast** caches (Katz et al., the Synapse/Berkeley
+//!   family): every write to potentially-shared data is broadcast on the
+//!   bus at word granularity, and every cache snoop-updates its copy —
+//!   requiring a dual-ported or replicated tag path and precluding large
+//!   cache pages ([`SnoopySystem`]);
+//! * **compiler-controlled flushing** (the MIPS-X proposal): no
+//!   consistency hardware at all; the compiler conservatively flushes all
+//!   shared data around synchronization points, whether or not another
+//!   processor actually touched it ([`CompilerFlushModel`]).
+//!
+//! [`OwnershipSystem`] is the page-granularity two-state ownership
+//! protocol (VMP's behaviour) over the same access-stream interface, so
+//! the three models can be compared on identical workloads. These are
+//! deliberately *traffic models* — they count bus words and transfer
+//! time, not full machine state — which is exactly the level at which
+//! the paper's §6 comparison argues.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmp_baselines::{Access, CoherenceModel, OwnershipSystem, SnoopySystem};
+//! use vmp_types::PageSize;
+//!
+//! let mut snoopy = SnoopySystem::new(2, 16);
+//! let mut vmp = OwnershipSystem::new(2, PageSize::S256);
+//! for model in [&mut snoopy as &mut dyn CoherenceModel, &mut vmp] {
+//!     model.access(Access { cpu: 0, addr: 0x100, write: true });
+//!     model.access(Access { cpu: 1, addr: 0x100, write: false });
+//! }
+//! assert!(snoopy.traffic().bus_time > vmp_types::Nanos::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flush;
+mod ownership;
+mod snoopy;
+mod traffic;
+
+pub use flush::{CompilerFlushModel, FlushComparison};
+pub use ownership::OwnershipSystem;
+pub use snoopy::SnoopySystem;
+pub use traffic::{interleave, Access, CoherenceModel, TrafficStats};

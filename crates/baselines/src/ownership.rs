@@ -1,0 +1,203 @@
+//! The VMP two-state ownership protocol as a traffic model.
+
+use std::collections::{HashMap, HashSet};
+
+use vmp_mem::MemTimings;
+use vmp_types::{Nanos, PageSize};
+
+use crate::{Access, CoherenceModel, TrafficStats};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PageState {
+    /// Copies in the listed caches, all equal to memory.
+    Shared(HashSet<usize>),
+    /// One cache owns the page; `dirty` once written.
+    Private { owner: usize, dirty: bool },
+}
+
+/// Page-granularity shared/private ownership — VMP's protocol (§3.1) —
+/// over the same access-stream interface as [`crate::SnoopySystem`].
+///
+/// Bus costs: a page block transfer for read-shared/read-private and for
+/// write-backs; a control cycle for assert-ownership upgrades. Like the
+/// snoopy model it is infinite-capacity, isolating *sharing* traffic.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_baselines::{Access, CoherenceModel, OwnershipSystem};
+/// use vmp_types::PageSize;
+///
+/// let mut m = OwnershipSystem::new(2, PageSize::S256);
+/// m.access(Access { cpu: 0, addr: 0, write: true });
+/// // Repeated writes by the owner are free.
+/// m.access(Access { cpu: 0, addr: 4, write: true });
+/// assert_eq!(m.traffic().block_transfers, 1);
+/// ```
+#[derive(Debug)]
+pub struct OwnershipSystem {
+    page: PageSize,
+    timings: MemTimings,
+    control_cycle: Nanos,
+    pages: HashMap<u64, PageState>,
+    processors: usize,
+    stats: TrafficStats,
+}
+
+impl OwnershipSystem {
+    /// Creates a system of `processors` caches with VMP page granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `processors > 0`.
+    pub fn new(processors: usize, page: PageSize) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        OwnershipSystem {
+            page,
+            timings: MemTimings::default(),
+            control_cycle: Nanos::from_ns(300),
+            pages: HashMap::new(),
+            processors,
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// The configured cache-page size.
+    pub fn page_size(&self) -> PageSize {
+        self.page
+    }
+
+    fn page_transfer(&self) -> Nanos {
+        self.timings.page_transfer(self.page)
+    }
+
+    fn charge_block(&mut self) {
+        self.stats.block_transfers += 1;
+        self.stats.bus_time += self.page_transfer();
+    }
+
+    fn charge_control(&mut self) {
+        self.stats.word_ops += 1;
+        self.stats.bus_time += self.control_cycle;
+    }
+}
+
+impl CoherenceModel for OwnershipSystem {
+    fn access(&mut self, a: Access) {
+        assert!(a.cpu < self.processors, "processor out of range");
+        self.stats.accesses += 1;
+        let key = self.page.page_of(a.addr);
+        let state = self.pages.remove(&key);
+        let new_state = match (state, a.write) {
+            // Cold read: read-shared.
+            (None, false) => {
+                self.charge_block();
+                PageState::Shared(HashSet::from([a.cpu]))
+            }
+            // Cold write: read-private.
+            (None, true) => {
+                self.charge_block();
+                PageState::Private { owner: a.cpu, dirty: true }
+            }
+            (Some(PageState::Shared(holders)), false) => {
+                let mut holders = holders;
+                if !holders.contains(&a.cpu) {
+                    self.charge_block(); // read-shared
+                    holders.insert(a.cpu);
+                }
+                PageState::Shared(holders)
+            }
+            (Some(PageState::Shared(holders)), true) => {
+                // Upgrade: assert-ownership (control cycle) if we hold a
+                // copy, read-private (block) if not; all other copies are
+                // discarded in parallel.
+                let others = holders.iter().filter(|&&c| c != a.cpu).count() as u64;
+                self.stats.invalidations += others;
+                if holders.contains(&a.cpu) {
+                    self.charge_control();
+                } else {
+                    self.charge_block();
+                }
+                PageState::Private { owner: a.cpu, dirty: true }
+            }
+            (Some(PageState::Private { owner, dirty }), write) if owner == a.cpu => {
+                PageState::Private { owner, dirty: dirty || write }
+            }
+            (Some(PageState::Private { owner, dirty }), write) => {
+                // Foreign access: the requester's transaction is aborted
+                // once, the owner writes back (block transfer if dirty),
+                // then the requester's retry succeeds.
+                if dirty {
+                    self.charge_block(); // write-back
+                }
+                if write {
+                    self.stats.invalidations += 1;
+                    self.charge_block(); // read-private by requester
+                    PageState::Private { owner: a.cpu, dirty: true }
+                } else {
+                    self.charge_block(); // read-shared by requester
+                    // The previous owner downgrades and keeps a shared copy.
+                    PageState::Shared(HashSet::from([owner, a.cpu]))
+                }
+            }
+        };
+        self.pages.insert(key, new_state);
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_writes_are_free_after_acquisition() {
+        let mut m = OwnershipSystem::new(2, PageSize::S256);
+        for i in 0..100 {
+            m.access(Access { cpu: 0, addr: i * 4 % 256, write: true });
+        }
+        let t = m.traffic();
+        assert_eq!(t.block_transfers, 1, "one read-private, then silence");
+        assert_eq!(t.word_ops, 0);
+    }
+
+    #[test]
+    fn upgrade_uses_control_cycle() {
+        let mut m = OwnershipSystem::new(2, PageSize::S256);
+        m.access(Access { cpu: 0, addr: 0, write: false }); // read-shared
+        m.access(Access { cpu: 0, addr: 0, write: true }); // assert-ownership
+        let t = m.traffic();
+        assert_eq!(t.block_transfers, 1);
+        assert_eq!(t.word_ops, 1);
+    }
+
+    #[test]
+    fn ownership_migration_costs_writeback_plus_fetch() {
+        let mut m = OwnershipSystem::new(2, PageSize::S256);
+        m.access(Access { cpu: 0, addr: 0, write: true }); // rp: 1 block
+        m.access(Access { cpu: 1, addr: 0, write: true }); // wb + rp: 2 blocks
+        let t = m.traffic();
+        assert_eq!(t.block_transfers, 3);
+        assert_eq!(t.invalidations, 1);
+    }
+
+    #[test]
+    fn foreign_read_downgrades() {
+        let mut m = OwnershipSystem::new(2, PageSize::S256);
+        m.access(Access { cpu: 0, addr: 0, write: true }); // private dirty
+        m.access(Access { cpu: 1, addr: 0, write: false }); // wb + rs
+        assert_eq!(m.traffic().block_transfers, 3);
+        // Now both share it; further reads are free.
+        m.access(Access { cpu: 0, addr: 0, write: false });
+        m.access(Access { cpu: 1, addr: 4, write: false });
+        assert_eq!(m.traffic().block_transfers, 3);
+    }
+
+    #[test]
+    fn page_size_reported() {
+        assert_eq!(OwnershipSystem::new(1, PageSize::S128).page_size(), PageSize::S128);
+    }
+}

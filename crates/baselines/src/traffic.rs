@@ -1,0 +1,160 @@
+//! The shared access-stream interface and traffic counters.
+
+use core::fmt;
+
+use vmp_types::Nanos;
+
+/// One memory access in a multiprocessor reference stream.
+///
+/// Baselines compare *bus traffic*, so accesses carry physical addresses
+/// directly (virtual translation is orthogonal to the comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Which processor issues the access.
+    pub cpu: usize,
+    /// Physical byte address.
+    pub addr: u64,
+    /// Write (vs. read).
+    pub write: bool,
+}
+
+/// Bus-traffic counters accumulated by a coherence model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total accesses processed.
+    pub accesses: u64,
+    /// Block (line or page) transfers over the bus.
+    pub block_transfers: u64,
+    /// Single-word bus operations (write broadcasts, word updates).
+    pub word_ops: u64,
+    /// Copies invalidated in remote caches.
+    pub invalidations: u64,
+    /// Total bus occupancy.
+    pub bus_time: Nanos,
+}
+
+impl TrafficStats {
+    /// Mean bus time per access (zero when empty).
+    pub fn bus_time_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.bus_time.as_ns() as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses: {} blocks, {} words, {} invalidations, {} bus ({:.1} ns/access)",
+            self.accesses,
+            self.block_transfers,
+            self.word_ops,
+            self.invalidations,
+            self.bus_time,
+            self.bus_time_per_access(),
+        )
+    }
+}
+
+/// A coherence protocol processing a multiprocessor access stream and
+/// accumulating bus traffic.
+pub trait CoherenceModel {
+    /// Processes one access.
+    fn access(&mut self, a: Access);
+
+    /// The traffic accumulated so far.
+    fn traffic(&self) -> &TrafficStats;
+
+    /// Processes a whole stream.
+    fn run<I: IntoIterator<Item = Access>>(&mut self, stream: I)
+    where
+        Self: Sized,
+    {
+        for a in stream {
+            self.access(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_access_time() {
+        let t = TrafficStats {
+            accesses: 10,
+            bus_time: Nanos::from_ns(1000),
+            ..Default::default()
+        };
+        assert!((t.bus_time_per_access() - 100.0).abs() < 1e-12);
+        assert_eq!(TrafficStats::default().bus_time_per_access(), 0.0);
+        assert!(!t.to_string().is_empty());
+    }
+}
+
+/// Builds a multiprocessor access stream by round-robin interleaving
+/// per-processor traces (physical addresses = the traces' virtual
+/// addresses — the baselines compare traffic, not translation).
+///
+/// Traces of unequal length are drained until all are exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_baselines::interleave;
+/// use vmp_trace::{MemRef, Trace};
+/// use vmp_types::{Asid, VirtAddr};
+///
+/// let a: Trace = vec![MemRef::read(Asid::new(1), VirtAddr::new(0))].into_iter().collect();
+/// let b: Trace = vec![MemRef::write(Asid::new(1), VirtAddr::new(4))].into_iter().collect();
+/// let stream = interleave(&[a, b]);
+/// assert_eq!(stream.len(), 2);
+/// assert_eq!(stream[0].cpu, 0);
+/// assert_eq!(stream[1].cpu, 1);
+/// assert!(stream[1].write);
+/// ```
+pub fn interleave(traces: &[vmp_trace::Trace]) -> Vec<Access> {
+    let mut iters: Vec<_> = traces.iter().map(|t| t.iter()).collect();
+    let mut out = Vec::new();
+    let mut exhausted = 0;
+    while exhausted < iters.len() {
+        exhausted = 0;
+        for (cpu, it) in iters.iter_mut().enumerate() {
+            match it.next() {
+                Some(r) => out.push(Access { cpu, addr: r.addr.raw(), write: r.kind.is_write() }),
+                None => exhausted += 1,
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod interleave_tests {
+    use super::*;
+    use vmp_trace::{MemRef, Trace};
+    use vmp_types::{Asid, VirtAddr};
+
+    #[test]
+    fn unequal_lengths_drain_fully() {
+        let a: Trace =
+            (0..3).map(|i| MemRef::read(Asid::new(1), VirtAddr::new(i * 4))).collect();
+        let b: Trace =
+            (0..1).map(|i| MemRef::write(Asid::new(1), VirtAddr::new(i))).collect();
+        let s = interleave(&[a, b]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().filter(|a| a.cpu == 0).count(), 3);
+        assert_eq!(s.iter().filter(|a| a.cpu == 1).count(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(interleave(&[]).is_empty());
+        let empty: Trace = Trace::new();
+        assert!(interleave(&[empty]).is_empty());
+    }
+}

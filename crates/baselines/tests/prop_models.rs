@@ -1,0 +1,70 @@
+//! Property-based sanity of the coherence traffic models.
+
+use proptest::prelude::*;
+use vmp_baselines::{Access, CoherenceModel, OwnershipSystem, SnoopySystem};
+use vmp_types::PageSize;
+
+fn arb_stream(cpus: usize) -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0..cpus, 0u64..4096, any::<bool>())
+            .prop_map(|(cpu, addr, write)| Access { cpu, addr, write }),
+        0..400,
+    )
+}
+
+proptest! {
+    /// A single processor never generates sharing traffic in either
+    /// model: just one fill per line/page.
+    #[test]
+    fn single_cpu_has_no_sharing_traffic(stream in arb_stream(1)) {
+        let mut snoopy = SnoopySystem::new(1, 16);
+        let mut vmp = OwnershipSystem::new(1, PageSize::S256);
+        let mut distinct_lines = std::collections::HashSet::new();
+        let mut distinct_pages = std::collections::HashSet::new();
+        for &a in &stream {
+            snoopy.access(a);
+            vmp.access(a);
+            distinct_lines.insert(a.addr / 16);
+            distinct_pages.insert(a.addr / 256);
+        }
+        prop_assert_eq!(snoopy.traffic().word_ops, 0);
+        prop_assert_eq!(snoopy.traffic().block_transfers, distinct_lines.len() as u64);
+        prop_assert_eq!(vmp.traffic().invalidations, 0);
+        // Ownership may pay an upgrade control cycle per page (read then
+        // write), never more than one per page.
+        prop_assert!(vmp.traffic().word_ops <= distinct_pages.len() as u64);
+        prop_assert_eq!(vmp.traffic().block_transfers, distinct_pages.len() as u64);
+    }
+
+    /// Multi-processor streams: counters are consistent and bus time is
+    /// monotone in the stream (processing more accesses never reduces
+    /// accumulated traffic).
+    #[test]
+    fn traffic_is_monotone(stream in arb_stream(3)) {
+        let mut snoopy = SnoopySystem::new(3, 16);
+        let mut vmp = OwnershipSystem::new(3, PageSize::S256);
+        let mut last_s = vmp_types::Nanos::ZERO;
+        let mut last_v = vmp_types::Nanos::ZERO;
+        for &a in &stream {
+            snoopy.access(a);
+            vmp.access(a);
+            prop_assert!(snoopy.traffic().bus_time >= last_s);
+            prop_assert!(vmp.traffic().bus_time >= last_v);
+            last_s = snoopy.traffic().bus_time;
+            last_v = vmp.traffic().bus_time;
+        }
+        prop_assert_eq!(snoopy.traffic().accesses, stream.len() as u64);
+        prop_assert_eq!(vmp.traffic().accesses, stream.len() as u64);
+    }
+
+    /// Reads alone never invalidate anything under ownership.
+    #[test]
+    fn read_only_streams_never_invalidate(stream in arb_stream(3)) {
+        let mut vmp = OwnershipSystem::new(3, PageSize::S256);
+        for &a in &stream {
+            vmp.access(Access { write: false, ..a });
+        }
+        prop_assert_eq!(vmp.traffic().invalidations, 0);
+        prop_assert_eq!(vmp.traffic().word_ops, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Ablations over VMP's design choices: cache associativity (the
+//! prototype's 1–4 way configurability, §4), the §5.4 non-shared-memory
+//! software hint, and the sensitivity of the whole design to the
+//! software handler's speed (§7: "faster processors reduce the speed
+//! advantage of implementing complex control logic in hardware").
+
+use vmp_analytic::{processor_performance, render_table, MissCostModel, ProcessorModel};
+use vmp_bench::{banner, simulate_miss_ratio, standard_trace};
+use vmp_cache::{CacheConfig, TagCache};
+use vmp_core::{Machine, MachineConfig, Op, ScriptProgram};
+use vmp_types::{Asid, Nanos, PageSize, VirtAddr};
+
+fn associativity_sweep() {
+    println!("-- associativity (256B pages, 128 KB, cold start) --\n");
+    let trace = standard_trace();
+    let mut rows = Vec::new();
+    for assoc in [1usize, 2, 4] {
+        let s = simulate_miss_ratio(PageSize::S256, assoc, 128 * 1024, &trace);
+        rows.push(vec![
+            format!("{assoc}-way"),
+            format!("{:.3}%", 100.0 * s.miss_ratio()),
+            s.misses.to_string(),
+        ]);
+    }
+    println!("{}", render_table(&["assoc", "miss ratio", "misses"], &rows));
+    println!(
+        "the paper fixes 4-way for its studies; lower associativity adds\n\
+         conflict misses that software handling makes expensive.\n"
+    );
+}
+
+fn hint_ablation() {
+    println!("-- §5.4 non-shared hint: read-then-write over 64 private pages --\n");
+    let run = |hint: bool| {
+        let mut config = MachineConfig::default();
+        config.processors = 1;
+        config.cpu.page_fault = Nanos::ZERO;
+        let mut m = Machine::build(config).unwrap();
+        let asid = Asid::new(1);
+        let mut ops = Vec::new();
+        for i in 0..64u64 {
+            let va = VirtAddr::new(0x10000 + i * 256);
+            m.map_shared(&[(asid, va)]).unwrap();
+            if hint {
+                m.set_private_hint(asid, va, true).unwrap();
+            }
+            ops.push(Op::Read(va));
+            ops.push(Op::Write(va, i as u32));
+        }
+        ops.push(Op::Halt);
+        m.set_program(0, ScriptProgram::new(ops)).unwrap();
+        let report = m.run().unwrap();
+        (report.elapsed, report.processors[0].upgrades, report.bus.total())
+    };
+    let (t0, up0, bus0) = run(false);
+    let (t1, up1, bus1) = run(true);
+    let rows = vec![
+        vec!["unhinted".into(), t0.to_string(), up0.to_string(), bus0.to_string()],
+        vec!["hinted private".into(), t1.to_string(), up1.to_string(), bus1.to_string()],
+    ];
+    println!("{}", render_table(&["mode", "elapsed", "upgrades", "bus transactions"], &rows));
+    println!(
+        "marking unshared memory lets the read miss fetch private, removing\n\
+         one assert-ownership trap per page on first write (§5.4).\n"
+    );
+}
+
+fn handler_speed_sensitivity() {
+    println!("-- handler software speed vs performance (256B, 0.5% miss) --\n");
+    let proc = ProcessorModel::default();
+    let mut rows = Vec::new();
+    for (label, scale) in [("2x faster", 0.5), ("paper (13.6us)", 1.0), ("2x slower", 2.0)] {
+        let mut model = MissCostModel::paper(PageSize::S256);
+        model.pre = Nanos::from_ns((model.pre.as_ns() as f64 * scale) as u64);
+        model.mid = Nanos::from_ns((model.mid.as_ns() as f64 * scale) as u64);
+        model.post = Nanos::from_ns((model.post.as_ns() as f64 * scale) as u64);
+        let avg = model.average(0.75);
+        let perf = processor_performance(0.005, avg.elapsed, &proc);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", avg.elapsed.as_micros_f64()),
+            format!("{:.1}%", 100.0 * perf),
+        ]);
+    }
+    println!("{}", render_table(&["handler speed", "avg miss us", "cpu performance"], &rows));
+    println!(
+        "even a 2x slower handler keeps performance within a few points at\n\
+         sub-percent miss ratios — the large-page/low-miss design is what\n\
+         makes software control viable (§2, §7).\n"
+    );
+}
+
+fn page_size_beyond_prototype() {
+    println!("-- page sizes beyond the prototype (4-way, 128 KB) --\n");
+    let trace = standard_trace();
+    let mut rows = Vec::new();
+    for bytes in [64u64, 128, 256, 512, 1024] {
+        let page = PageSize::new(bytes).unwrap();
+        let s = simulate_miss_ratio(page, 4, 128 * 1024, &trace);
+        let avg = MissCostModel::paper(page).average(0.75);
+        let perf =
+            processor_performance(s.miss_ratio(), avg.elapsed, &ProcessorModel::default());
+        rows.push(vec![
+            page.to_string(),
+            format!("{:.3}%", 100.0 * s.miss_ratio()),
+            format!("{:.2}", avg.elapsed.as_micros_f64()),
+            format!("{:.1}%", 100.0 * perf),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["page", "miss ratio", "avg miss us", "net cpu perf"], &rows)
+    );
+    println!(
+        "the product of falling miss ratio and rising per-miss cost has an\n\
+         optimum near the paper's 256-512 B choice for this workload."
+    );
+}
+
+fn asid_vs_flush_on_switch() {
+    println!("-- ASID tags vs flush-on-context-switch (256B, 128 KB, 4-way) --\n");
+    // A conventional virtually-addressed cache without ASID tags must be
+    // flushed whenever the address space changes (§2 footnote 1). Replay
+    // the same multiprogrammed trace both ways.
+    let trace = standard_trace();
+    let config = CacheConfig::new(PageSize::S256, 4, 128 * 1024).unwrap();
+
+    // VMP: ASIDs in the tags, no flushes.
+    let mut with_asid = TagCache::new(config);
+    with_asid.run(trace.iter().copied());
+
+    // Conventional: tags are VA-only (collapse every ASID to one) and the
+    // whole cache is flushed at each context-switch boundary.
+    let mut flushed = TagCache::new(config);
+    let mut last_asid = None;
+    let mut switches = 0u64;
+    for r in trace.iter() {
+        if last_asid.is_some() && last_asid != Some(r.asid) {
+            flushed.flush();
+            switches += 1;
+        }
+        last_asid = Some(r.asid);
+        let mut r = *r;
+        r.asid = Asid::new(0);
+        flushed.access(r);
+    }
+    let rows = vec![
+        vec![
+            "ASID tags (VMP)".to_string(),
+            format!("{:.3}%", 100.0 * with_asid.stats().miss_ratio()),
+        ],
+        vec![
+            format!("flush on switch ({switches} switches)"),
+            format!("{:.3}%", 100.0 * flushed.stats().miss_ratio()),
+        ],
+    ];
+    println!("{}", render_table(&["cache", "miss ratio"], &rows));
+    println!(
+        "the ASID in the tag (§2, §4) lets a resumed process find its pages\n\
+         still cached; a flush-on-switch cache re-faults its working set after\n\
+         every OS burst and timeslice.\n"
+    );
+}
+
+fn main() {
+    banner("Ablations — associativity, hint, handler speed, page size, ASIDs", "§4, §5.4, §7");
+    associativity_sweep();
+    hint_ablation();
+    handler_speed_sensitivity();
+    page_size_beyond_prototype();
+    asid_vs_flush_on_switch();
+}

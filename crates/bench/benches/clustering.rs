@@ -1,0 +1,74 @@
+//! The §5.4/§7 data-clustering claim, quantified: "programming systems
+//! need to recognize the importance of clustering related data on cache
+//! pages". Same record-traversal work under two layouts — hot fields
+//! embedded in 64-byte records (array-of-structs) versus split into a
+//! dense array (struct-of-arrays) — at each prototype page size.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmp_analytic::{processor_performance, render_table, MissCostModel, ProcessorModel};
+use vmp_bench::banner;
+use vmp_cache::{CacheConfig, TagCache};
+use vmp_trace::synth::{Layout, RecordTraversal};
+use vmp_types::{Asid, PageSize};
+
+const RECORDS: u64 = 4096; // 64-byte records → 256 KB scattered, 16 KB packed
+const RECORD_BYTES: u64 = 64;
+const REFS: usize = 200_000;
+
+fn run(page: PageSize, layout: Layout) -> f64 {
+    // Zipf-skewed record popularity (s = 0.8): key-lookup-like traffic.
+    let mut gen = RecordTraversal::with_skew(
+        Asid::new(1),
+        0x10_0000,
+        RECORDS,
+        RECORD_BYTES,
+        layout,
+        0.8,
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut cache = TagCache::new(CacheConfig::new(page, 4, 64 * 1024).unwrap());
+    for _ in 0..REFS {
+        cache.access(gen.next_ref(&mut rng));
+    }
+    cache.stats().miss_ratio()
+}
+
+fn main() {
+    banner("Data clustering — hot-field layout vs miss ratio", "§5.4/§7's clustering claim");
+    println!(
+        "{RECORDS} records of {RECORD_BYTES} B, hot field read at random; 64 KB 4-way cache.\n\
+         scattered = hot fields inside full records; packed = hot fields in a\n\
+         dense side array (what a clustering-aware compiler would emit).\n"
+    );
+    let proc = ProcessorModel::default();
+    let mut rows = Vec::new();
+    for page in PageSize::PROTOTYPE_SIZES {
+        let scattered = run(page, Layout::Scattered);
+        let packed = run(page, Layout::Packed);
+        let avg = MissCostModel::paper(page).average(0.75);
+        let perf_s = processor_performance(scattered, avg.elapsed, &proc);
+        let perf_p = processor_performance(packed, avg.elapsed, &proc);
+        rows.push(vec![
+            page.to_string(),
+            format!("{:.2}%", 100.0 * scattered),
+            format!("{:.2}%", 100.0 * packed),
+            format!("{:.1}x", scattered / packed.max(1e-9)),
+            format!("{:.0}% -> {:.0}%", 100.0 * perf_s, 100.0 * perf_p),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["page", "scattered miss", "packed miss", "improvement", "cpu perf"],
+            &rows
+        )
+    );
+    println!(
+        "expected shape: the scattered layout wastes most of every large page\n\
+         on cold fields, so its working set exceeds the cache; packing the hot\n\
+         fields multiplies each page's useful content by page/4 ÷ page/64 = 16x.\n\
+         The gain grows with page size — exactly why VMP's unusually large\n\
+         pages make data clustering a first-order software concern (§7)."
+    );
+}

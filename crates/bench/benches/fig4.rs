@@ -1,0 +1,63 @@
+//! Figure 4: cold-start cache miss ratio versus cache size, for the
+//! three cache page sizes — the trace-driven simulation of §5.2, run on
+//! the synthetic ATUM-like workload (the original VAX 8200 ATUM traces
+//! are DEC-proprietary; see DESIGN.md for the substitution).
+
+use vmp_analytic::render_table;
+use vmp_bench::{banner, simulate_miss_ratio, standard_trace};
+use vmp_types::PageSize;
+
+fn main() {
+    banner("Figure 4 — Cache Miss Ratio vs Cache Size (cold start, 4-way)", "Figure 4");
+
+    let trace = standard_trace();
+    let stats = trace.stats();
+    println!(
+        "workload: {} references, {} address spaces, footprint {} KB, \
+         OS share {:.1}% (paper: ~25%)\n",
+        stats.total,
+        stats.address_spaces,
+        stats.footprint_bytes() / 1024,
+        100.0 * stats.supervisor_fraction(),
+    );
+
+    let sizes_kb = [64u64, 128, 256];
+    let mut rows = Vec::new();
+    for kb in sizes_kb {
+        let mut row = vec![format!("{kb} KB")];
+        for page in PageSize::PROTOTYPE_SIZES {
+            let s = simulate_miss_ratio(page, 4, kb * 1024, &trace);
+            row.push(format!("{:.3}%", 100.0 * s.miss_ratio()));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["cache size", "miss @128B", "miss @256B", "miss @512B"], &rows)
+    );
+
+    let ref_point = simulate_miss_ratio(PageSize::S256, 4, 128 * 1024, &trace);
+    println!(
+        "reference point 256B/128KB: {:.3}% (paper: 0.24%)",
+        100.0 * ref_point.miss_ratio()
+    );
+    println!(
+        "OS references: {:.1}% of refs, {:.1}% of misses (paper: ~25% / ~50%)",
+        100.0 * (stats.supervisor as f64 / stats.total as f64),
+        100.0 * ref_point.supervisor_miss_share(),
+    );
+    println!(
+        "\nexpected shape: miss ratio falls with cache size and with page size\n\
+         (large pages capture whole loops and records), staying sub-1% across\n\
+         the sweep — the regime that makes software miss handling viable."
+    );
+    // §5.2's sanity check: the cache behaves like a TLB of equal geometry.
+    let sets = 128 * 1024 / (256 * 4);
+    println!(
+        "\n§5.2 TLB analogy: the 256B/128KB 4-way cache is structurally a\n\
+         {sets}-set x 4-way translation buffer; its measured {:.2}% miss ratio\n\
+         sits in the band Smith reports for TLBs of comparable size (~0.4%\n\
+         for 128 sets x 2), as the paper argues.",
+        100.0 * ref_point.miss_ratio()
+    );
+}

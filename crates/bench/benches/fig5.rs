@@ -1,0 +1,33 @@
+//! Figure 5: single-processor bus utilization versus cache miss ratio,
+//! for the three cache page sizes.
+
+use vmp_analytic::{bus_utilization, render_table, MissCostModel, ProcessorModel};
+use vmp_bench::banner;
+use vmp_types::PageSize;
+
+fn main() {
+    banner("Figure 5 — Bus Utilization vs Cache Miss Ratio", "Figure 5");
+
+    let proc = ProcessorModel::default();
+    let ratios = [0.001, 0.002, 0.004, 0.006, 0.008, 0.01, 0.015, 0.02, 0.03];
+    let mut rows = Vec::new();
+    for m in ratios {
+        let mut row = vec![format!("{:.2}%", 100.0 * m)];
+        for page in PageSize::PROTOTYPE_SIZES {
+            let avg = MissCostModel::paper(page).average(0.75);
+            let util = bus_utilization(m, &avg, &proc);
+            row.push(format!("{:.1}%", 100.0 * util));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["miss ratio", "bus @128B", "bus @256B", "bus @512B"], &rows)
+    );
+    let avg = MissCostModel::paper(PageSize::S256).average(0.75);
+    println!(
+        "paper's checkpoint: 256B pages at 0.6% miss ratio -> {:.1}% bus \
+         utilization (paper: ~10%, the basis of the 5-processor estimate)",
+        100.0 * bus_utilization(0.006, &avg, &proc)
+    );
+}

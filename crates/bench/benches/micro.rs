@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the simulator itself: these measure the
+//! *simulator's* throughput (host performance), not the modelled
+//! machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vmp_bench::{standard_trace, TRACE_SEED};
+use vmp_cache::{CacheConfig, TagCache};
+use vmp_core::{Machine, MachineConfig, TraceProgram};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_types::{Nanos, PageSize};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("atum_workload_10k_refs", |b| {
+        b.iter(|| {
+            AtumWorkload::new(AtumParams::default(), TRACE_SEED)
+                .take(10_000)
+                .count()
+        })
+    });
+}
+
+fn bench_tag_cache(c: &mut Criterion) {
+    let trace = standard_trace();
+    let slice: Vec<_> = trace.iter().copied().take(50_000).collect();
+    c.bench_function("tag_cache_50k_refs_256B_128KB", |b| {
+        b.iter_batched(
+            || TagCache::new(CacheConfig::new(PageSize::S256, 4, 128 * 1024).unwrap()),
+            |mut cache| {
+                for &r in &slice {
+                    cache.access(r);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("machine_2cpu_5k_refs", |b| {
+        b.iter(|| {
+            let mut config = MachineConfig::default();
+            config.processors = 2;
+            config.max_time = Nanos::from_ms(60_000);
+            let mut m = Machine::build(config).unwrap();
+            for cpu in 0..2 {
+                let refs =
+                    AtumWorkload::new(AtumParams::default(), TRACE_SEED + cpu as u64).take(5_000);
+                m.set_program(cpu, TraceProgram::new(refs)).unwrap();
+            }
+            m.run().unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_generation, bench_tag_cache, bench_machine
+}
+criterion_main!(benches);

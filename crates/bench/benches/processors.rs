@@ -1,0 +1,99 @@
+//! §5.3: how many processors fit on one bus.
+//!
+//! Combines the closed queueing model (Mean Value Analysis of the
+//! machine-repairman network the paper's "simple single-server queueing
+//! model" describes) with an actual multi-CPU machine simulation running
+//! the ATUM-like workload.
+
+use vmp_analytic::{max_processors, mva, render_table, MissCostModel, ProcessorModel};
+use vmp_bench::{banner, TRACE_SEED};
+use vmp_core::{Machine, MachineConfig, TraceProgram};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_types::{Nanos, PageSize};
+
+/// Per-processor references for the machine sweep (kept modest: the
+/// event-driven machine is far more detailed than the tag simulator).
+const REFS_PER_CPU: usize = 80_000;
+
+fn machine_sweep(n: usize) -> (f64, f64) {
+    let mut config = MachineConfig::default();
+    config.processors = n;
+    config.memory_bytes = 8 * 1024 * 1024;
+    config.max_time = Nanos::from_ms(120_000);
+    // The §5.3 estimate is about cache/bus behaviour; the paper's model
+    // does not charge OS page-fault service, so demand-zero fills are
+    // free here (they would otherwise dominate a cold-start run).
+    config.cpu.page_fault = Nanos::ZERO;
+    let mut m = Machine::build(config).unwrap();
+    for cpu in 0..n {
+        // Independent workloads in separate address spaces: the paper's
+        // feasibility estimate is about *capacity*, not sharing.
+        let refs = AtumWorkload::new(AtumParams::default(), TRACE_SEED + cpu as u64)
+            .take(REFS_PER_CPU)
+            .map(move |mut r| {
+                r.asid = vmp_types::Asid::new(cpu as u8 + 1);
+                r
+            });
+        m.set_asid(cpu, vmp_types::Asid::new(cpu as u8 + 1)).unwrap();
+        m.set_program(cpu, TraceProgram::new(refs)).unwrap();
+    }
+    let report = m.run().unwrap();
+    let perf: f64 = report.processors.iter().map(|p| p.performance()).sum::<f64>() / n as f64;
+    (perf, report.bus_utilization())
+}
+
+fn main() {
+    banner("§5.3 — Bus Utilization and Number of Processors", "the §5.3 estimate");
+
+    // Queueing model: service = average bus time per miss; think = time
+    // between bus requests off the bus. At the paper's example point
+    // (256 B pages, 0.6 % miss ratio).
+    let avg = MissCostModel::paper(PageSize::S256).average(0.75);
+    let proc = ProcessorModel::default();
+    let miss_ratio = 0.006;
+    let service = avg.bus;
+    let refs_between_misses = 1.0 / miss_ratio;
+    let think_ns = refs_between_misses * proc.ref_interval().as_ns() as f64
+        + (avg.elapsed.as_ns() - avg.bus.as_ns()) as f64;
+    let think = Nanos::from_ns(think_ns.round() as u64);
+
+    println!("queueing model (MVA): service {service} per miss, think {think}\n");
+    let mut rows = Vec::new();
+    for n in 1..=10 {
+        let r = mva(n, service, think);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}%", 100.0 * r.bus_utilization),
+            format!("{:.1}%", 100.0 * r.efficiency),
+            r.response.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["processors", "bus util", "per-cpu efficiency", "bus response"], &rows)
+    );
+    let feasible = max_processors(service, think, 0.95);
+    println!("processors sustaining >=95% efficiency: {feasible} (paper: \"up to 5\")\n");
+
+    println!("full machine simulation ({REFS_PER_CPU} refs/cpu, independent ATUM-like workloads):");
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4, 6, 8] {
+        let (perf, bus) = machine_sweep(n);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}%", 100.0 * perf),
+            format!("{:.1}%", 100.0 * bus),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["processors", "mean cpu performance", "bus utilization"], &rows)
+    );
+    println!(
+        "expected shape: degradation stays mild through ~4-5 processors and\n\
+         the bus approaches saturation beyond that. Absolute performance is\n\
+         below Figure 3's steady state because a cold-start run this short has\n\
+         an elevated transient miss ratio (cold pages + PTE fills); the shape\n\
+         of the processor-count scaling is what reproduces the §5.3 estimate."
+    );
+}

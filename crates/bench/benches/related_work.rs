@@ -1,0 +1,115 @@
+//! §6 comparison: VMP ownership vs snoopy write-broadcast vs MIPS-X
+//! compiler-controlled flushing.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vmp_analytic::render_table;
+use vmp_baselines::{Access, CoherenceModel, CompilerFlushModel, OwnershipSystem, SnoopySystem};
+use vmp_bench::banner;
+use vmp_types::PageSize;
+
+/// A two-processor producer/consumer stream with a tunable shared-write
+/// fraction: both processors read a common region; a fraction of
+/// references are writes to it.
+fn shared_stream(refs: usize, write_frac: f64, seed: u64) -> Vec<Access> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..refs)
+        .map(|_| {
+            let cpu = rng.random_range(0..2);
+            let addr = rng.random_range(0..64u64) * 4; // one hot 256 B page
+            let write = rng.random_bool(write_frac);
+            Access { cpu, addr, write }
+        })
+        .collect()
+}
+
+/// A mostly-private stream: each processor works in its own region with
+/// occasional reads of the other's.
+fn mostly_private_stream(refs: usize, seed: u64) -> Vec<Access> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..refs)
+        .map(|_| {
+            let cpu = rng.random_range(0..2usize);
+            let peek = rng.random_bool(0.02);
+            let region = if peek { 1 - cpu } else { cpu };
+            let addr = region as u64 * 0x10000 + rng.random_range(0..1024u64) * 4;
+            Access { cpu, addr, write: !peek && rng.random_bool(0.3) }
+        })
+        .collect()
+}
+
+fn compare(name: &str, stream: &[Access], rows: &mut Vec<Vec<String>>) {
+    let mut snoopy = SnoopySystem::new(2, 16);
+    let mut vmp = OwnershipSystem::new(2, PageSize::S256);
+    for &a in stream {
+        snoopy.access(a);
+        vmp.access(a);
+    }
+    let s = snoopy.traffic();
+    let v = vmp.traffic();
+    rows.push(vec![
+        name.to_string(),
+        format!("{:.1}", s.bus_time_per_access()),
+        format!("{:.1}", v.bus_time_per_access()),
+        s.word_ops.to_string(),
+        v.block_transfers.to_string(),
+    ]);
+}
+
+fn main() {
+    banner("§6 — Related Work: ownership vs write-broadcast vs compiler flush", "§6");
+
+    println!("bus traffic on identical 2-CPU access streams (100k accesses):\n");
+    let mut rows = Vec::new();
+    compare("hot page, 5% writes", &shared_stream(100_000, 0.05, 7), &mut rows);
+    compare("hot page, 30% writes", &shared_stream(100_000, 0.30, 7), &mut rows);
+    compare("mostly private", &mostly_private_stream(100_000, 7), &mut rows);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "snoopy ns/access",
+                "vmp ns/access",
+                "snoopy word broadcasts",
+                "vmp page transfers",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "expected shape (matching §6's own admission): write-broadcast\n\
+         produces *less* bus traffic on fine-grained sharing — one word per\n\
+         shared write versus whole-page ping-pong for ownership. The paper's\n\
+         case for VMP is not traffic but hardware: 'the consistency schemes\n\
+         providing the lowest bus traffic also tend to be the most complex',\n\
+         requiring a multi-master cache path at memory-reference speed and\n\
+         precluding the large pages Figure 4 depends on. Note also the\n\
+         broadcasts snoopy wastes on stale sharers in the mostly-private\n\
+         stream (infinite-capacity snoop pollution).\n"
+    );
+
+    println!("compiler-anticipatory flushing vs VMP flush-on-demand (64 shared pages/epoch):\n");
+    let model = CompilerFlushModel::new(PageSize::S256, 64, 0.25);
+    let mut rows = Vec::new();
+    for c in model.sweep(&[0.02, 0.05, 0.1, 0.25, 0.5, 1.0]) {
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * c.true_sharing),
+            c.flush_bus_time.to_string(),
+            c.demand_bus_time.to_string(),
+            format!("{:.1}x", c.overhead_ratio()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["true sharing", "MIPS-X flush bus", "VMP demand bus", "overhead"],
+            &rows
+        )
+    );
+    println!(
+        "expected shape: anticipatory flushing costs the same regardless of\n\
+         actual sharing, so its overhead explodes as true sharing shrinks —\n\
+         the application-sensitivity §6 points out."
+    );
+}

@@ -1,0 +1,148 @@
+//! Consistency overhead as miss-ratio inflation (§5, §5.4).
+//!
+//! The paper folds consistency interrupts into its performance estimates
+//! "by hypothesizing a higher miss ratio than that suggested by the
+//! simulations". This harness *measures* that inflation: each processor
+//! runs its private ATUM-like workload plus a tunable fraction of
+//! references into a common shared region (mapped into every address
+//! space), and reports how the effective miss ratio and consistency
+//! traffic grow with the sharing fraction.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vmp_analytic::render_table;
+use vmp_bench::{banner, TRACE_SEED};
+use vmp_core::{Machine, MachineConfig, Op, OpResult, Program};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_types::{Asid, Nanos, VirtAddr};
+
+const REFS_PER_CPU: usize = 25_000;
+const SHARED_PAGES: u64 = 32;
+const SHARED_BASE: u64 = 0x4000_0000;
+
+/// Private trace interleaved with shared-region references.
+struct SharingWorkload {
+    private: Box<dyn Iterator<Item = vmp_trace::MemRef> + Send>,
+    rng: StdRng,
+    share_prob: f64,
+    emitted: usize,
+    limit: usize,
+}
+
+impl Program for SharingWorkload {
+    fn next_op(&mut self, _last: OpResult) -> Op {
+        if self.emitted >= self.limit {
+            return Op::Halt;
+        }
+        self.emitted += 1;
+        if self.rng.random_bool(self.share_prob) {
+            let page = self.rng.random_range(0..SHARED_PAGES);
+            let offset = self.rng.random_range(0..64u64) * 4;
+            let va = VirtAddr::new(SHARED_BASE + page * 256 + offset);
+            if self.rng.random_bool(0.2) {
+                return Op::Write(va, self.emitted as u32);
+            }
+            return Op::Read(va);
+        }
+        match self.private.next() {
+            Some(r) if r.kind.is_write() => Op::Write(r.addr, self.emitted as u32),
+            Some(r) => Op::Read(r.addr),
+            None => Op::Halt,
+        }
+    }
+}
+
+struct Outcome {
+    base_miss: f64,
+    effective_miss: f64,
+    invalidations: u64,
+    retries: u64,
+    perf: f64,
+}
+
+fn run(cpus: usize, share_prob: f64) -> Outcome {
+    let mut config = MachineConfig::default();
+    config.processors = cpus;
+    config.memory_bytes = 8 * 1024 * 1024;
+    config.cpu.page_fault = Nanos::ZERO;
+    config.max_time = Nanos::from_ms(120_000);
+    let mut m = Machine::build(config).unwrap();
+    // The shared region is mapped into every processor's space.
+    for page in 0..SHARED_PAGES {
+        let va = VirtAddr::new(SHARED_BASE + page * 256);
+        let mappings: Vec<(Asid, VirtAddr)> =
+            (0..cpus).map(|c| (Asid::new(c as u8 + 1), va)).collect();
+        m.map_shared(&mappings).unwrap();
+    }
+    for cpu in 0..cpus {
+        m.set_asid(cpu, Asid::new(cpu as u8 + 1)).unwrap();
+        let private =
+            AtumWorkload::new(AtumParams::default(), TRACE_SEED + cpu as u64).take(REFS_PER_CPU * 2);
+        m.set_program(
+            cpu,
+            SharingWorkload {
+                private: Box::new(private),
+                rng: StdRng::seed_from_u64(99 + cpu as u64),
+                share_prob,
+                emitted: 0,
+                limit: REFS_PER_CPU,
+            },
+        )
+        .unwrap();
+    }
+    let report = m.run().unwrap();
+    m.validate().unwrap();
+    let refs: u64 = report.processors.iter().map(|p| p.refs).sum();
+    let misses: u64 = report.processors.iter().map(|p| p.misses()).sum();
+    let upgrades: u64 = report.processors.iter().map(|p| p.upgrades).sum();
+    Outcome {
+        base_miss: misses as f64 / refs as f64,
+        effective_miss: (misses + upgrades) as f64 / refs as f64,
+        invalidations: report.processors.iter().map(|p| p.invalidations).sum(),
+        retries: report.processors.iter().map(|p| p.retries).sum(),
+        perf: report.processors.iter().map(|p| p.performance()).sum::<f64>() / cpus as f64,
+    }
+}
+
+fn main() {
+    banner(
+        "Consistency overhead — effective miss ratio vs sharing fraction",
+        "the §5/§5.4 'hypothesize a higher miss ratio' estimate",
+    );
+    println!(
+        "4 processors, private ATUM-like workloads plus a shared 8 KB region\n\
+         (20% writes within it); consistency interrupts, upgrades and retries\n\
+         inflate the effective miss ratio exactly as §5 anticipates.\n"
+    );
+    let mut rows = Vec::new();
+    for share in [0.0, 0.01, 0.05, 0.10] {
+        let o = run(4, share);
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * share),
+            format!("{:.2}%", 100.0 * o.base_miss),
+            format!("{:.2}%", 100.0 * o.effective_miss),
+            o.invalidations.to_string(),
+            o.retries.to_string(),
+            format!("{:.1}%", 100.0 * o.perf),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "shared refs",
+                "miss ratio",
+                "effective (+upgrades)",
+                "invalidations",
+                "retries",
+                "cpu perf",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "expected shape: the miss ratio and consistency traffic climb with the\n\
+         sharing fraction; the performance cost is the Figure 3 curve read at\n\
+         the *effective* miss ratio rather than the private one."
+    );
+}

@@ -1,0 +1,94 @@
+//! Table 1: elapsed time and bus time per cache miss.
+//!
+//! Regenerates the paper's Table 1 from the analytic miss-cost model and
+//! cross-checks the elapsed time against the full machine simulator by
+//! actually taking misses on a one-CPU machine.
+
+use vmp_analytic::{render_table, MissCostModel};
+use vmp_bench::{banner, us};
+use vmp_core::{Machine, MachineConfig, Op, ScriptProgram};
+use vmp_types::{Nanos, PageSize, VirtAddr};
+
+/// Stall time accumulated by a one-CPU machine running `ops`.
+fn run_stall(page: PageSize, ops: Vec<Op>) -> Nanos {
+    let mut config = MachineConfig::default();
+    config.processors = 1;
+    // Direct-mapped two-set cache: the data pages A and B below map to
+    // set 1 and conflict with each other, while the kernel PTE page maps
+    // to set 0 and stays resident — so the final access is a pure
+    // conflict miss with a warm page table.
+    config.cache = vmp_cache::CacheConfig::new(page, 1, page.bytes() * 2).unwrap();
+    config.memory_bytes = 64 * 1024;
+    let mut m = Machine::build(config).unwrap();
+    m.set_program(0, ScriptProgram::new(ops)).unwrap();
+    m.run().unwrap();
+    m.cpu_stats(0).stall_time
+}
+
+/// Measures the elapsed time of exactly one miss whose victim is clean
+/// or dirty: the difference in total stall between a program with and
+/// without the final conflicting reference (determinism makes the
+/// difference exact).
+fn machine_miss_elapsed(page: PageSize, dirty_victim: bool) -> Nanos {
+    let a = VirtAddr::new(page.bytes()); // vpn 1 → set 1
+    let b = VirtAddr::new(page.bytes() * 3); // vpn 3 → set 1
+    let mut prefix = vec![
+        Op::Read(a), // fault everything in
+        if dirty_victim { Op::Write(b, 1) } else { Op::Read(b) },
+    ];
+    let base = run_stall(page, {
+        let mut v = prefix.clone();
+        v.push(Op::Halt);
+        v
+    });
+    prefix.push(Op::Read(a)); // the measured miss: evicts B
+    prefix.push(Op::Halt);
+    let full = run_stall(page, prefix);
+    full - base
+}
+
+fn main() {
+    banner("Table 1 — Elapsed Time and Bus Time per Cache Miss", "Table 1");
+
+    let paper: [(PageSize, bool, f64, f64); 6] = [
+        (PageSize::S128, false, 17.0, 3.5),
+        (PageSize::S256, false, 20.0, 6.6),
+        (PageSize::S512, false, 26.0, 13.0),
+        (PageSize::S128, true, 17.0, 7.0),
+        (PageSize::S256, true, 23.0, 13.2),
+        (PageSize::S512, true, 36.0, 26.0),
+    ];
+
+    let mut rows = Vec::new();
+    for (page, modified, p_elapsed, p_bus) in paper {
+        let model = MissCostModel::paper(page);
+        let machine = machine_miss_elapsed(page, modified);
+        rows.push(vec![
+            page.to_string(),
+            if modified { "modified" } else { "not modified" }.to_string(),
+            us(model.elapsed(modified)),
+            format!("{p_elapsed:.0}"),
+            us(machine),
+            us(model.bus_time(modified)),
+            format!("{p_bus:.1}"),
+        ]);
+    }
+    let table = render_table(
+        &[
+            "page",
+            "victim",
+            "elapsed us (model)",
+            "paper",
+            "elapsed us (machine)",
+            "bus us (model)",
+            "paper",
+        ],
+        &rows,
+    );
+    println!("{table}");
+    println!(
+        "The machine column measures a real conflict miss end-to-end on the\n\
+         event-driven simulator (arbitration included), so it sits within a\n\
+         few hundred nanoseconds of the closed-form model."
+    );
+}

@@ -1,0 +1,50 @@
+//! Region-level miss diagnostic for workload calibration (not a paper
+//! artifact; used to attribute Figure 4 misses to workload components).
+
+use std::collections::{HashMap, HashSet};
+use vmp_bench::standard_trace;
+use vmp_cache::{CacheConfig, TagCache};
+use vmp_types::PageSize;
+
+fn region(addr: u64) -> &'static str {
+    match addr {
+        a if a < 0x0800_0000 => "ucode",
+        a if a < 0x1000_0000 => "uglob",
+        a if a < 0x7fff_0000 => "uheap",
+        a if a < 0xf000_0000 => "ustack",
+        a if a < 0xf400_0000 => "oscode",
+        a if a < 0xf800_0000 => "kpte",
+        a if a < 0xfc00_0000 => "osheap",
+        a if a < 0xfe00_0000 => "osglob",
+        _ => "osstack",
+    }
+}
+
+fn main() {
+    let trace = standard_trace();
+    let mut cache = TagCache::new(CacheConfig::new(PageSize::S256, 4, 128 * 1024).unwrap());
+    let mut miss_by: HashMap<&str, u64> = HashMap::new();
+    let mut refs_by: HashMap<&str, u64> = HashMap::new();
+    let mut pages_by: HashMap<&str, HashSet<(u8, u64)>> = HashMap::new();
+    for r in trace.iter() {
+        let reg = region(r.addr.raw());
+        *refs_by.entry(reg).or_default() += 1;
+        pages_by.entry(reg).or_default().insert((r.asid.raw(), r.addr.raw() >> 8));
+        if !cache.access(*r).is_hit() {
+            *miss_by.entry(reg).or_default() += 1;
+        }
+    }
+    let s = cache.stats();
+    println!("total refs={} misses={} ratio={:.4}%", s.refs, s.misses, 100.0 * s.miss_ratio());
+    let mut keys: Vec<_> = refs_by.keys().collect();
+    keys.sort();
+    for k in keys {
+        println!(
+            "{:8} refs={:7} misses={:6} pages={:5}",
+            k,
+            refs_by[k],
+            miss_by.get(k).unwrap_or(&0),
+            pages_by[k].len()
+        );
+    }
+}

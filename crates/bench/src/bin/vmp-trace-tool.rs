@@ -1,0 +1,151 @@
+//! Command-line trace utility: generate synthetic ATUM-like traces,
+//! convert between the text and binary formats, and analyse locality.
+//!
+//! ```sh
+//! vmp-trace-tool generate --refs 400000 --seed 1986 --out trace.vmpt
+//! vmp-trace-tool convert trace.vmpt trace.txt
+//! vmp-trace-tool analyze trace.vmpt
+//! vmp-trace-tool simulate trace.vmpt --page 256 --assoc 4 --kb 128
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use vmp_cache::{classify_misses, CacheConfig};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_trace::{
+    read_binary, read_text, reuse_distances, working_set_sizes, write_binary, write_text, Trace,
+};
+use vmp_types::PageSize;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  vmp-trace-tool generate [--refs N] [--seed S] --out FILE\n  \
+         vmp-trace-tool convert IN OUT\n  \
+         vmp-trace-tool analyze FILE [--page BYTES]\n  \
+         vmp-trace-tool simulate FILE [--page BYTES] [--assoc N] [--kb N]\n\n\
+         files ending in .txt use the text format; anything else is binary"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let result = if path.ends_with(".txt") {
+        read_text(BufReader::new(file))
+    } else {
+        read_binary(BufReader::new(file))
+    };
+    result.map_err(|e| format!("read {path}: {e}"))
+}
+
+fn store(path: &str, trace: &Trace) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let result = if path.ends_with(".txt") {
+        write_text(BufWriter::new(file), trace)
+    } else {
+        write_binary(BufWriter::new(file), trace)
+    };
+    result.map_err(|e| format!("write {path}: {e}"))
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_page(args: &[String]) -> Result<PageSize, String> {
+    let bytes: u64 = flag(args, "--page").unwrap_or_else(|| "256".into())
+        .parse()
+        .map_err(|e| format!("bad --page: {e}"))?;
+    PageSize::new(bytes).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => {
+            let refs: usize = flag(&args, "--refs").unwrap_or_else(|| "400000".into())
+                .parse()
+                .map_err(|e| format!("bad --refs: {e}"))?;
+            let seed: u64 = flag(&args, "--seed").unwrap_or_else(|| "1986".into())
+                .parse()
+                .map_err(|e| format!("bad --seed: {e}"))?;
+            let out = flag(&args, "--out").ok_or("generate requires --out FILE")?;
+            let trace: Trace = AtumWorkload::new(AtumParams::default(), seed).take(refs).collect();
+            store(&out, &trace)?;
+            println!("wrote {} references to {out}", trace.len());
+            println!("{}", trace.stats());
+            Ok(())
+        }
+        Some("convert") => {
+            let [_, input, output] = args.as_slice() else {
+                return Err("convert requires IN and OUT".into());
+            };
+            let trace = load(input)?;
+            store(output, &trace)?;
+            println!("converted {} references: {input} -> {output}", trace.len());
+            Ok(())
+        }
+        Some("analyze") => {
+            let input = args.get(1).ok_or("analyze requires FILE")?;
+            let page = parse_page(&args)?;
+            let trace = load(input)?;
+            println!("{}", trace.stats());
+            let h = reuse_distances(trace.iter().copied(), page);
+            println!(
+                "reuse distances at {page}: cold {:.2}%, miss-ratio estimates:",
+                100.0 * h.cold_fraction()
+            );
+            for capacity in [64u64, 256, 512, 1024] {
+                println!(
+                    "  fully-assoc LRU of {capacity:4} pages ({:4} KB): {:.3}%",
+                    capacity * page.bytes() / 1024,
+                    100.0 * h.fraction_at_least(capacity)
+                );
+            }
+            let ws = working_set_sizes(trace.iter().copied(), page, 50_000);
+            println!("working set per 50k-ref window (pages): {ws:?}");
+            Ok(())
+        }
+        Some("simulate") => {
+            let input = args.get(1).ok_or("simulate requires FILE")?;
+            let page = parse_page(&args)?;
+            let assoc: usize = flag(&args, "--assoc").unwrap_or_else(|| "4".into())
+                .parse()
+                .map_err(|e| format!("bad --assoc: {e}"))?;
+            let kb: u64 = flag(&args, "--kb").unwrap_or_else(|| "128".into())
+                .parse()
+                .map_err(|e| format!("bad --kb: {e}"))?;
+            let config = CacheConfig::new(page, assoc, kb * 1024).map_err(|e| e.to_string())?;
+            let trace = load(input)?;
+            let c = classify_misses(config, trace.iter().copied());
+            println!("{config}: miss ratio {:.3}%", 100.0 * c.miss_ratio());
+            println!(
+                "  cold {} + capacity {} + conflict {} = {} misses / {} refs",
+                c.cold,
+                c.capacity,
+                c.conflict,
+                c.total_misses(),
+                c.refs
+            );
+            Ok(())
+        }
+        _ => {
+            usage();
+            Err(String::new())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

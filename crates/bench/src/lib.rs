@@ -1,0 +1,72 @@
+//! Shared plumbing for the table/figure regeneration harnesses.
+//!
+//! Each `[[bench]]` target under `benches/` regenerates one artifact of
+//! the paper's evaluation (`cargo bench -p vmp-bench --bench table1`,
+//! `--bench fig4`, …); `cargo bench -p vmp-bench` regenerates all of
+//! them. The harnesses print the simulated/modelled values next to the
+//! paper's published numbers so drift is visible at a glance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use vmp_cache::{CacheConfig, CacheSimStats, TagCache};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_trace::Trace;
+use vmp_types::PageSize;
+
+/// The trace length used by the simulation harnesses: the paper's ATUM
+/// traces run 358k–540k references (§5.2).
+pub const TRACE_LEN: usize = 400_000;
+
+/// The fixed seed for the ATUM-like workload, so every harness sees the
+/// same trace.
+pub const TRACE_SEED: u64 = 1986;
+
+/// Generates the standard synthetic ATUM-like trace.
+pub fn standard_trace() -> Trace {
+    AtumWorkload::new(AtumParams::default(), TRACE_SEED).take(TRACE_LEN).collect()
+}
+
+/// Cold-start miss-ratio simulation of one cache geometry over a trace
+/// (the Figure 4 primitive).
+pub fn simulate_miss_ratio(page: PageSize, assoc: usize, total_bytes: u64, trace: &Trace) -> CacheSimStats {
+    let config = CacheConfig::new(page, assoc, total_bytes).expect("valid geometry");
+    let mut cache = TagCache::new(config);
+    cache.run(trace.iter().copied())
+}
+
+/// Formats a nanosecond value as microseconds with two decimals.
+pub fn us(ns: vmp_types::Nanos) -> String {
+    format!("{:.2}", ns.as_micros_f64())
+}
+
+/// Prints a harness banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("\n=== {title} ===");
+    println!("(reproduces {paper_ref} of Cheriton, Slavenburg & Boyle, ISCA 1986)\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_trace_has_expected_length() {
+        let t = AtumWorkload::new(AtumParams::default(), TRACE_SEED).take(1000).count();
+        assert_eq!(t, 1000);
+    }
+
+    #[test]
+    fn miss_ratio_simulation_runs() {
+        let trace: Trace =
+            AtumWorkload::new(AtumParams::default(), TRACE_SEED).take(20_000).collect();
+        let stats = simulate_miss_ratio(PageSize::S256, 4, 64 * 1024, &trace);
+        assert_eq!(stats.refs, 20_000);
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn us_formats() {
+        assert_eq!(us(vmp_types::Nanos::from_ns(6_600)), "6.60");
+    }
+}

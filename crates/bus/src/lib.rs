@@ -1,0 +1,52 @@
+//! The VMP bus level: VMEbus transactions, per-processor *bus monitors*
+//! and their two-bit-per-frame *action tables*.
+//!
+//! VMP's only consistency hardware is the bus monitor: a simple state
+//! machine that watches every bus transaction, looks up the transaction's
+//! physical page frame in its action table, and either ignores it,
+//! interrupts its processor, or aborts the transaction and interrupts
+//! (paper §3.2). Everything else — deciding *what* to do about a
+//! conflicting access — is software running on the interrupted processor.
+//!
+//! The module provides:
+//!
+//! * [`BusTxKind`]/[`BusTransaction`] — the six consistency-related
+//!   transaction kinds (read-shared, read-private, assert-ownership,
+//!   write-back, notify, write-action-table) plus plain DMA transfers;
+//! * [`ActionCode`]/[`ActionTable`] — the 2-bit per-frame codes
+//!   `00/01/10/11`;
+//! * [`BusMonitor`] — check/abort/interrupt logic with the 128-entry
+//!   interrupt-word FIFO and its overflow flag;
+//! * [`VmeBus`] — occupancy, arbitration and transaction timing built on
+//!   the block-transfer model of [`vmp_mem::MemTimings`].
+//!
+//! # Examples
+//!
+//! ```
+//! use vmp_bus::{ActionCode, BusMonitor, BusTransaction, BusTxKind};
+//! use vmp_types::{FrameNum, ProcessorId};
+//!
+//! let mut monitor = BusMonitor::new(ProcessorId::new(0), 1024);
+//! monitor.table_mut().set(FrameNum::new(7), ActionCode::InterruptOnOwnership);
+//!
+//! // Another CPU asks for exclusive ownership of frame 7:
+//! let tx = BusTransaction::new(BusTxKind::ReadPrivate, FrameNum::new(7), ProcessorId::new(1));
+//! let decision = monitor.observe(&tx);
+//! assert!(!decision.abort);
+//! assert!(decision.interrupted);
+//! // The monitor queued an interrupt word for CPU 0's consistency handler.
+//! assert_eq!(monitor.pop_interrupt().unwrap().frame, FrameNum::new(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod monitor;
+mod transaction;
+mod vme;
+
+pub use action::{ActionCode, ActionTable};
+pub use monitor::{BusMonitor, InterruptWord, MonitorDecision, FIFO_CAPACITY};
+pub use transaction::{BusTransaction, BusTxKind};
+pub use vme::{BusStats, BusTimings, VmeBus};

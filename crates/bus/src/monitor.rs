@@ -1,0 +1,434 @@
+//! The per-processor bus monitor.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use vmp_types::{FrameNum, ProcessorId};
+
+use crate::{ActionCode, ActionTable, BusTransaction, BusTxKind};
+
+/// Capacity of the monitor's interrupt-word FIFO (paper §3.2).
+pub const FIFO_CAPACITY: usize = 128;
+
+/// One queued interrupt word: "the type of bus transaction and the
+/// physical address associated with the bus transaction" (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptWord {
+    /// The transaction kind that triggered the interrupt.
+    pub kind: BusTxKind,
+    /// The physical frame it addressed.
+    pub frame: FrameNum,
+    /// Who issued the transaction (available to the handler for
+    /// diagnostics; the real word encodes type + address).
+    pub issuer: ProcessorId,
+}
+
+impl fmt::Display for InterruptWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "irq[{} {} from {}]", self.kind, self.frame, self.issuer)
+    }
+}
+
+/// What the monitor decided about one observed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorDecision {
+    /// The transaction must be aborted (terminated at the end of the
+    /// current memory reference and retried by its issuer).
+    pub abort: bool,
+    /// An interrupt word was queued (or dropped, if the FIFO was full)
+    /// for the local processor.
+    pub interrupted: bool,
+}
+
+/// The bus monitor: VMP's entire per-processor consistency hardware.
+///
+/// On every bus transaction the monitor looks up the addressed frame in
+/// its [`ActionTable`] and applies the two-bit code (paper §3.2):
+///
+/// * `00` — ignore;
+/// * `01` (*shared*) — interrupt on read-private/assert-ownership, and
+///   on a foreign write-back (see below);
+/// * `10` (*private*/protect) — abort + interrupt on any
+///   consistency-related acquisition or foreign write-back;
+/// * `11` — interrupt on notify.
+///
+/// **The stale-sharer race.** §3.3 calls a foreign write-back under code
+/// `01` a protocol violation, but there is a legitimate window in which
+/// it happens: processor *j* holds a page shared, processor *i* takes it
+/// private (queueing an invalidation word at *j*), modifies it, and
+/// evicts it — all before *j* reaches an instruction boundary (e.g. *j*
+/// is blocked in a 17–36 µs miss of its own). *i*'s write-back then hits
+/// *j*'s still-`01` entry. Aborting would violate the paper's own
+/// "write-backs are never aborted" guarantee, so this implementation
+/// *interrupts without aborting*: *j*'s handler invalidates its stale
+/// copy (which the queued word would have done anyway). A foreign
+/// write-back under `10` — two owners — remains a true violation.
+///
+/// **Self-observation.** The monitor also watches its *own* processor's
+/// transactions — that is how virtual-address aliases are caught: a
+/// processor that issues read-shared for a frame its own cache holds
+/// private (under a different virtual address) is aborted by its own
+/// monitor and interrupted so it can flush the owned copy (§3.3). Two
+/// asymmetries keep the protocol sound, both implied by the paper:
+/// a self write-back is never aborted ("write-backs … are never
+/// aborted"), and a self transaction under code `01`/`11` performs only
+/// the concurrent table *update*, not the check (the issuing CPU is the
+/// one changing the page's state).
+///
+/// The monitor's FIFO holds up to [`FIFO_CAPACITY`] words; on overflow
+/// the word is dropped and a sticky flag is set so software can run the
+/// recovery path (§3.3).
+#[derive(Debug, Clone)]
+pub struct BusMonitor {
+    owner: ProcessorId,
+    table: ActionTable,
+    fifo: VecDeque<InterruptWord>,
+    overflow: bool,
+    /// Total interrupt words ever queued (for statistics).
+    queued_total: u64,
+    /// Total words dropped on overflow.
+    dropped_total: u64,
+}
+
+impl BusMonitor {
+    /// Creates a monitor for `owner` covering `frames` page frames.
+    pub fn new(owner: ProcessorId, frames: u64) -> Self {
+        BusMonitor {
+            owner,
+            table: ActionTable::new(frames),
+            fifo: VecDeque::with_capacity(FIFO_CAPACITY),
+            overflow: false,
+            queued_total: 0,
+            dropped_total: 0,
+        }
+    }
+
+    /// The processor this monitor serves.
+    pub fn owner(&self) -> ProcessorId {
+        self.owner
+    }
+
+    /// Read access to the action table.
+    pub fn table(&self) -> &ActionTable {
+        &self.table
+    }
+
+    /// Write access to the action table (the CPU's `write-action-table`
+    /// path and the concurrent-update path).
+    pub fn table_mut(&mut self) -> &mut ActionTable {
+        &mut self.table
+    }
+
+    /// Observes one bus transaction and applies the action-table code.
+    ///
+    /// Returns the decision; any interrupt word is queued on the FIFO.
+    pub fn observe(&mut self, tx: &BusTransaction) -> MonitorDecision {
+        if !tx.kind.is_consistency_related() {
+            return MonitorDecision::default();
+        }
+        let code = self.table.get(tx.frame);
+        let own = tx.issuer == self.owner;
+        let decision = match (code, own) {
+            (ActionCode::Ignore, _) => MonitorDecision::default(),
+
+            // Shared copy held. Foreign ownership requests interrupt (we
+            // must invalidate); foreign write-back is a protocol
+            // violation: abort + interrupt. Self transactions only update
+            // the table (handled by the issuing CPU's software).
+            (ActionCode::InterruptOnOwnership, false) => match tx.kind {
+                k if k.requests_ownership() => MonitorDecision { abort: false, interrupted: true },
+                // Stale-sharer race: the legitimate owner is writing back
+                // before our invalidation word was serviced. Never abort a
+                // write-back; let the handler drop the stale copy.
+                BusTxKind::WriteBack => MonitorDecision { abort: false, interrupted: true },
+                _ => MonitorDecision::default(),
+            },
+            (ActionCode::InterruptOnOwnership, true) => MonitorDecision::default(),
+
+            // Private copy held (or DMA protect). Any foreign
+            // consistency-related transaction aborts + interrupts. A self
+            // acquisition means the processor is competing against itself
+            // through a virtual-address alias: abort + interrupt (§3.3).
+            // A self write-back is the release path: never aborted.
+            (ActionCode::Protect, false) => match tx.kind {
+                BusTxKind::Notify => MonitorDecision::default(),
+                _ => MonitorDecision { abort: true, interrupted: true },
+            },
+            (ActionCode::Protect, true) => match tx.kind {
+                BusTxKind::ReadShared | BusTxKind::ReadPrivate | BusTxKind::AssertOwnership => {
+                    MonitorDecision { abort: true, interrupted: true }
+                }
+                _ => MonitorDecision::default(),
+            },
+
+            // Notification watch.
+            (ActionCode::NotifyWatch, _) => match tx.kind {
+                BusTxKind::Notify if !own => MonitorDecision { abort: false, interrupted: true },
+                _ => MonitorDecision::default(),
+            },
+        };
+        if decision.interrupted {
+            self.queue(InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer });
+        }
+        decision
+    }
+
+    fn queue(&mut self, word: InterruptWord) {
+        // Coalesce: a word identical to one already pending carries no
+        // new information for the handler (the condition is per-frame and
+        // the service routine is idempotent), so the monitor suppresses
+        // it instead of letting rapid retries of one aborted transaction
+        // flood the FIFO.
+        if self.fifo.iter().any(|w| *w == word) {
+            return;
+        }
+        if self.fifo.len() >= FIFO_CAPACITY {
+            self.overflow = true;
+            self.dropped_total += 1;
+        } else {
+            self.fifo.push_back(word);
+            self.queued_total += 1;
+        }
+    }
+
+    /// Pops the oldest pending interrupt word, if any.
+    pub fn pop_interrupt(&mut self) -> Option<InterruptWord> {
+        self.fifo.pop_front()
+    }
+
+    /// Iterates over the queued-but-unserviced interrupt words, oldest
+    /// first (used by invariant validators to identify in-transition
+    /// frames).
+    pub fn pending_words(&self) -> impl Iterator<Item = &InterruptWord> + '_ {
+        self.fifo.iter()
+    }
+
+    /// Discards all pending words (the overflow-recovery path consumes
+    /// the queue wholesale after rebuilding state from scratch).
+    pub fn drain(&mut self) {
+        self.fifo.clear();
+    }
+
+    /// Number of pending interrupt words.
+    pub fn pending(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// The sticky overflow flag: set when a word was dropped because the
+    /// FIFO was full.
+    pub fn overflowed(&self) -> bool {
+        self.overflow
+    }
+
+    /// Clears the overflow flag after software has run its recovery
+    /// (invalidate/reread shared entries and rebuild the table, §3.3).
+    pub fn clear_overflow(&mut self) {
+        self.overflow = false;
+    }
+
+    /// Total words ever queued.
+    pub fn queued_total(&self) -> u64 {
+        self.queued_total
+    }
+
+    /// Total words ever dropped on overflow.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> BusMonitor {
+        BusMonitor::new(ProcessorId::new(0), 256)
+    }
+
+    fn tx(kind: BusTxKind, frame: u64, issuer: usize) -> BusTransaction {
+        BusTransaction::new(kind, FrameNum::new(frame), ProcessorId::new(issuer))
+    }
+
+    #[test]
+    fn ignore_code_ignores_everything() {
+        let mut m = monitor();
+        for kind in [
+            BusTxKind::ReadShared,
+            BusTxKind::ReadPrivate,
+            BusTxKind::AssertOwnership,
+            BusTxKind::WriteBack,
+            BusTxKind::Notify,
+        ] {
+            let d = m.observe(&tx(kind, 1, 1));
+            assert_eq!(d, MonitorDecision::default(), "{kind}");
+        }
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn plain_transactions_never_checked() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(2), ActionCode::Protect);
+        let d = m.observe(&tx(BusTxKind::PlainRead, 2, 1));
+        assert_eq!(d, MonitorDecision::default());
+        let d = m.observe(&tx(BusTxKind::PlainWrite, 2, 1));
+        assert_eq!(d, MonitorDecision::default());
+    }
+
+    #[test]
+    fn shared_code_interrupts_on_foreign_ownership_requests() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(3), ActionCode::InterruptOnOwnership);
+        assert_eq!(m.observe(&tx(BusTxKind::ReadShared, 3, 1)), MonitorDecision::default());
+        let d = m.observe(&tx(BusTxKind::ReadPrivate, 3, 1));
+        assert!(d.interrupted && !d.abort);
+        let d = m.observe(&tx(BusTxKind::AssertOwnership, 3, 2));
+        assert!(d.interrupted && !d.abort);
+        assert_eq!(m.pending(), 2);
+        let w = m.pop_interrupt().unwrap();
+        assert_eq!(w.kind, BusTxKind::ReadPrivate);
+        assert_eq!(w.issuer, ProcessorId::new(1));
+    }
+
+    #[test]
+    fn shared_code_foreign_writeback_interrupts_without_abort() {
+        // The stale-sharer race: never abort a write-back; interrupt so
+        // the handler invalidates the stale copy.
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(3), ActionCode::InterruptOnOwnership);
+        let d = m.observe(&tx(BusTxKind::WriteBack, 3, 1));
+        assert!(!d.abort && d.interrupted);
+    }
+
+    #[test]
+    fn shared_code_self_transactions_not_checked() {
+        // Own upgrade (assert-ownership) must not self-invalidate.
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(3), ActionCode::InterruptOnOwnership);
+        let d = m.observe(&tx(BusTxKind::AssertOwnership, 3, 0));
+        assert_eq!(d, MonitorDecision::default());
+    }
+
+    #[test]
+    fn protect_aborts_all_foreign_consistency_traffic() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(4), ActionCode::Protect);
+        for kind in [
+            BusTxKind::ReadShared,
+            BusTxKind::ReadPrivate,
+            BusTxKind::AssertOwnership,
+            BusTxKind::WriteBack,
+        ] {
+            let d = m.observe(&tx(kind, 4, 1));
+            assert!(d.abort && d.interrupted, "{kind}");
+        }
+    }
+
+    #[test]
+    fn protect_aborts_self_alias_acquisitions() {
+        // The alias case of §3.3: a processor read-sharing a frame its own
+        // cache owns privately is aborted by its own monitor.
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(4), ActionCode::Protect);
+        let d = m.observe(&tx(BusTxKind::ReadShared, 4, 0));
+        assert!(d.abort && d.interrupted);
+    }
+
+    #[test]
+    fn protect_never_aborts_self_writeback() {
+        // Release path: "write-backs ... are never aborted".
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(4), ActionCode::Protect);
+        let d = m.observe(&tx(BusTxKind::WriteBack, 4, 0));
+        assert_eq!(d, MonitorDecision::default());
+    }
+
+    #[test]
+    fn notify_watch_interrupts_on_foreign_notify_only() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(5), ActionCode::NotifyWatch);
+        let d = m.observe(&tx(BusTxKind::Notify, 5, 1));
+        assert!(d.interrupted && !d.abort);
+        // Other traffic passes (e.g. the lock holder rewriting the word).
+        assert_eq!(m.observe(&tx(BusTxKind::ReadPrivate, 5, 1)), MonitorDecision::default());
+        // Own notify doesn't wake ourselves.
+        assert_eq!(m.observe(&tx(BusTxKind::Notify, 5, 0)), MonitorDecision::default());
+    }
+
+    #[test]
+    fn notify_ignored_under_protect() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(5), ActionCode::Protect);
+        let d = m.observe(&tx(BusTxKind::Notify, 5, 1));
+        assert_eq!(d, MonitorDecision::default());
+    }
+
+    #[test]
+    fn fifo_overflow_sets_sticky_flag_and_drops() {
+        let mut m = monitor();
+        for f in 0..FIFO_CAPACITY as u64 {
+            m.table_mut().set(FrameNum::new(f), ActionCode::InterruptOnOwnership);
+            m.observe(&tx(BusTxKind::ReadPrivate, f, 1));
+        }
+        assert_eq!(m.pending(), FIFO_CAPACITY);
+        assert!(!m.overflowed());
+        let f = FIFO_CAPACITY as u64;
+        m.table_mut().set(FrameNum::new(f), ActionCode::InterruptOnOwnership);
+        m.observe(&tx(BusTxKind::ReadPrivate, f, 1));
+        assert_eq!(m.pending(), FIFO_CAPACITY);
+        assert!(m.overflowed());
+        assert_eq!(m.dropped_total(), 1);
+        assert_eq!(m.queued_total(), FIFO_CAPACITY as u64);
+        m.clear_overflow();
+        assert!(!m.overflowed());
+    }
+
+    #[test]
+    fn duplicate_words_coalesce() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(6), ActionCode::Protect);
+        for _ in 0..10 {
+            let d = m.observe(&tx(BusTxKind::ReadPrivate, 6, 1));
+            assert!(d.abort);
+        }
+        assert_eq!(m.pending(), 1, "identical pending words coalesce");
+        // A different issuer or kind is a distinct word.
+        m.observe(&tx(BusTxKind::ReadPrivate, 6, 2));
+        m.observe(&tx(BusTxKind::ReadShared, 6, 1));
+        assert_eq!(m.pending(), 3);
+    }
+
+    #[test]
+    fn fifo_is_fifo() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(1), ActionCode::InterruptOnOwnership);
+        m.table_mut().set(FrameNum::new(2), ActionCode::InterruptOnOwnership);
+        m.observe(&tx(BusTxKind::ReadPrivate, 1, 1));
+        m.observe(&tx(BusTxKind::ReadPrivate, 2, 1));
+        assert_eq!(m.pop_interrupt().unwrap().frame, FrameNum::new(1));
+        assert_eq!(m.pop_interrupt().unwrap().frame, FrameNum::new(2));
+        assert!(m.pop_interrupt().is_none());
+    }
+
+    #[test]
+    fn pending_words_and_drain() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(1), ActionCode::InterruptOnOwnership);
+        m.observe(&tx(BusTxKind::ReadPrivate, 1, 1));
+        m.observe(&tx(BusTxKind::AssertOwnership, 1, 2));
+        assert_eq!(m.pending_words().count(), 2);
+        assert_eq!(m.pending_words().next().unwrap().issuer, ProcessorId::new(1));
+        m.drain();
+        assert_eq!(m.pending(), 0);
+    }
+
+    #[test]
+    fn interrupt_word_display() {
+        let w = InterruptWord {
+            kind: BusTxKind::Notify,
+            frame: FrameNum::new(9),
+            issuer: ProcessorId::new(2),
+        };
+        assert!(w.to_string().contains("notify"));
+    }
+}

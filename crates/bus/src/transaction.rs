@@ -1,0 +1,158 @@
+//! Bus transaction kinds.
+
+use core::fmt;
+
+use vmp_types::{FrameNum, ProcessorId};
+
+/// The kinds of VMEbus transaction in the VMP protocol (paper §3.1).
+///
+/// The first five are *consistency-related*: bus monitors check them
+/// against their action tables. `WriteActionTable` lets a CPU update its
+/// own monitor's table explicitly (the table is otherwise updated as a
+/// side effect of the CPU's own consistency transactions, avoiding a
+/// dual-ported table). `PlainRead`/`PlainWrite` are ordinary transfers
+/// used by DMA devices and device-register accesses; monitors ignore
+/// them, which is exactly why DMA regions must first be protected with
+/// assert-ownership + the `Protect` action code (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusTxKind {
+    /// Acquire a non-exclusive (shared) copy of a cache page.
+    ReadShared,
+    /// Acquire an exclusive copy of a cache page (write miss, no copy).
+    ReadPrivate,
+    /// Gain exclusive ownership without reading from memory (the page is
+    /// already held shared).
+    AssertOwnership,
+    /// Write a privately held page back to memory, releasing ownership.
+    WriteBack,
+    /// Send a notification to whichever processors watch this frame
+    /// (action code `11`): kernel wakeups, interprocessor messages (§5.4).
+    Notify,
+    /// Update an entry in the issuer's own action table.
+    WriteActionTable,
+    /// Ordinary (non-consistency) read: DMA out of memory.
+    PlainRead,
+    /// Ordinary (non-consistency) write: DMA into memory.
+    PlainWrite,
+}
+
+impl BusTxKind {
+    /// Returns `true` for the five consistency-related kinds the bus
+    /// monitors check (paper §3.1).
+    pub const fn is_consistency_related(self) -> bool {
+        matches!(
+            self,
+            BusTxKind::ReadShared
+                | BusTxKind::ReadPrivate
+                | BusTxKind::AssertOwnership
+                | BusTxKind::WriteBack
+                | BusTxKind::Notify
+        )
+    }
+
+    /// Returns `true` for transactions that request exclusive ownership.
+    pub const fn requests_ownership(self) -> bool {
+        matches!(self, BusTxKind::ReadPrivate | BusTxKind::AssertOwnership)
+    }
+
+    /// Returns `true` for transactions that move a whole cache page.
+    pub const fn is_block_transfer(self) -> bool {
+        matches!(self, BusTxKind::ReadShared | BusTxKind::ReadPrivate | BusTxKind::WriteBack)
+    }
+}
+
+impl fmt::Display for BusTxKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BusTxKind::ReadShared => "read-shared",
+            BusTxKind::ReadPrivate => "read-private",
+            BusTxKind::AssertOwnership => "assert-ownership",
+            BusTxKind::WriteBack => "write-back",
+            BusTxKind::Notify => "notify",
+            BusTxKind::WriteActionTable => "write-action-table",
+            BusTxKind::PlainRead => "plain-read",
+            BusTxKind::PlainWrite => "plain-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One bus transaction: a kind, the physical frame it addresses, and the
+/// processor issuing it.
+///
+/// DMA devices are modelled as pseudo-processors with their own
+/// [`ProcessorId`] so monitors can tell self from foreign traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusTransaction {
+    /// Transaction kind.
+    pub kind: BusTxKind,
+    /// Physical cache-page frame addressed.
+    pub frame: FrameNum,
+    /// Issuing processor (or DMA engine).
+    pub issuer: ProcessorId,
+}
+
+impl BusTransaction {
+    /// Creates a transaction.
+    pub const fn new(kind: BusTxKind, frame: FrameNum, issuer: ProcessorId) -> Self {
+        BusTransaction { kind, frame, issuer }
+    }
+}
+
+impl fmt::Display for BusTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} by {}", self.kind, self.frame, self.issuer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_classification() {
+        use BusTxKind::*;
+        for k in [ReadShared, ReadPrivate, AssertOwnership, WriteBack, Notify] {
+            assert!(k.is_consistency_related(), "{k}");
+        }
+        for k in [WriteActionTable, PlainRead, PlainWrite] {
+            assert!(!k.is_consistency_related(), "{k}");
+        }
+    }
+
+    #[test]
+    fn ownership_requests() {
+        assert!(BusTxKind::ReadPrivate.requests_ownership());
+        assert!(BusTxKind::AssertOwnership.requests_ownership());
+        assert!(!BusTxKind::ReadShared.requests_ownership());
+        assert!(!BusTxKind::WriteBack.requests_ownership());
+    }
+
+    #[test]
+    fn block_transfer_classification() {
+        assert!(BusTxKind::ReadShared.is_block_transfer());
+        assert!(BusTxKind::WriteBack.is_block_transfer());
+        assert!(!BusTxKind::AssertOwnership.is_block_transfer());
+        assert!(!BusTxKind::Notify.is_block_transfer());
+    }
+
+    #[test]
+    fn display_all_kinds() {
+        use BusTxKind::*;
+        let all = [
+            ReadShared,
+            ReadPrivate,
+            AssertOwnership,
+            WriteBack,
+            Notify,
+            WriteActionTable,
+            PlainRead,
+            PlainWrite,
+        ];
+        for k in all {
+            assert!(!k.to_string().is_empty());
+        }
+        let tx = BusTransaction::new(ReadShared, FrameNum::new(3), ProcessorId::new(1));
+        assert_eq!(tx.to_string(), "read-shared frame:0x3 by cpu1");
+    }
+}

@@ -1,0 +1,339 @@
+//! VMEbus occupancy and transaction timing.
+
+use core::fmt;
+
+use vmp_mem::MemTimings;
+use vmp_sim::BusyTracker;
+use vmp_types::{Nanos, PageSize};
+
+use crate::BusTxKind;
+
+/// Timing parameters of the shared bus (paper §3.2, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusTimings {
+    /// The consistency-check and action-table-update windows, each
+    /// overlapped with the block transfer (150 ns each in the prototype).
+    pub check_interval: Nanos,
+    /// An address-only control cycle (assert-ownership, notify,
+    /// write-action-table).
+    pub control_cycle: Nanos,
+    /// Bus arbitration overhead before a granted transaction starts.
+    pub arbitration: Nanos,
+}
+
+impl Default for BusTimings {
+    fn default() -> Self {
+        BusTimings {
+            check_interval: Nanos::from_ns(150),
+            control_cycle: Nanos::from_ns(300),
+            arbitration: Nanos::from_ns(100),
+        }
+    }
+}
+
+/// Per-kind transaction counters plus aggregate busy time.
+#[derive(Debug, Clone, Default)]
+pub struct BusStats {
+    /// Completed transactions by kind (see [`BusStats::count`]).
+    counts: [u64; 8],
+    /// Aborted transactions (by any monitor).
+    pub aborts: u64,
+    /// Aggregate bus-busy time.
+    pub busy: BusyTracker,
+}
+
+impl BusStats {
+    fn kind_index(kind: BusTxKind) -> usize {
+        match kind {
+            BusTxKind::ReadShared => 0,
+            BusTxKind::ReadPrivate => 1,
+            BusTxKind::AssertOwnership => 2,
+            BusTxKind::WriteBack => 3,
+            BusTxKind::Notify => 4,
+            BusTxKind::WriteActionTable => 5,
+            BusTxKind::PlainRead => 6,
+            BusTxKind::PlainWrite => 7,
+        }
+    }
+
+    /// Completed (non-aborted) transactions of the given kind.
+    pub fn count(&self, kind: BusTxKind) -> u64 {
+        self.counts[Self::kind_index(kind)]
+    }
+
+    /// Total completed transactions of all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bus utilization over an elapsed interval.
+    pub fn utilization(&self, elapsed: Nanos) -> f64 {
+        self.busy.utilization(elapsed)
+    }
+}
+
+impl fmt::Display for BusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus: {} tx ({} aborts), busy {}",
+            self.total(),
+            self.aborts,
+            self.busy.busy()
+        )
+    }
+}
+
+/// The shared VMEbus: a single-server resource with interval-based
+/// reservations, block-transfer timing and abort accounting.
+///
+/// The bus does not know about monitors or caches; the machine model
+/// reserves a slot for each transaction and reports completion or abort
+/// for statistics. Because a processor's long operation (page faults,
+/// handler software) may book a transfer well into the future while the
+/// bus sits idle in between, reservations are *gap-filling*: a request
+/// takes the earliest idle interval after its ready time, so an
+/// unrelated processor's future booking never delays it (the hardware
+/// arbiter grants the bus to whoever asks while it is idle).
+///
+/// # Examples
+///
+/// ```
+/// use vmp_bus::{BusTxKind, VmeBus};
+/// use vmp_types::{Nanos, PageSize};
+///
+/// let mut bus = VmeBus::new(PageSize::S256);
+/// let dur = bus.duration(BusTxKind::ReadShared);
+/// assert_eq!(dur.as_micros_f64(), 6.6);
+/// let start = bus.reserve(Nanos::ZERO, dur);
+/// bus.complete(BusTxKind::ReadShared, dur);
+/// // The next identical request waits for the transfer to finish.
+/// assert!(bus.reserve(Nanos::ZERO, dur) >= start + dur);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmeBus {
+    page_size: PageSize,
+    timings: BusTimings,
+    mem: MemTimings,
+    /// Disjoint reserved intervals, keyed by start time.
+    bookings: std::collections::BTreeMap<Nanos, Nanos>,
+    /// Bookings ending at or before this are pruned (machine time is
+    /// monotone, so no future request can need them).
+    watermark: Nanos,
+    stats: BusStats,
+}
+
+impl VmeBus {
+    /// Creates a bus with default prototype timings.
+    pub fn new(page_size: PageSize) -> Self {
+        VmeBus::with_timings(page_size, BusTimings::default(), MemTimings::default())
+    }
+
+    /// Creates a bus with explicit timing parameters.
+    pub fn with_timings(page_size: PageSize, timings: BusTimings, mem: MemTimings) -> Self {
+        VmeBus {
+            page_size,
+            timings,
+            mem,
+            bookings: std::collections::BTreeMap::new(),
+            watermark: Nanos::ZERO,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// The configured cache-page size (block-transfer length).
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// The bus timing parameters.
+    pub fn timings(&self) -> &BusTimings {
+        &self.timings
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// Reserves the earliest idle interval of length `dur` starting no
+    /// earlier than `ready` plus arbitration, and returns its start.
+    pub fn reserve(&mut self, ready: Nanos, dur: Nanos) -> Nanos {
+        let mut candidate = ready.max(self.watermark) + self.timings.arbitration;
+        loop {
+            // Among existing (disjoint) bookings, find the latest one
+            // starting before the candidate window ends; if it overlaps,
+            // slide past it and re-check.
+            let conflict = self
+                .bookings
+                .range(..candidate + dur)
+                .next_back()
+                .map(|(_, &end)| end)
+                .filter(|&end| end > candidate);
+            match conflict {
+                Some(end) => candidate = end,
+                None => break,
+            }
+        }
+        self.bookings.insert(candidate, candidate + dur);
+        candidate
+    }
+
+    /// Advances the pruning watermark: machine event time is monotone,
+    /// so bookings that ended before `now` can never conflict again.
+    pub fn advance_to(&mut self, now: Nanos) {
+        self.watermark = self.watermark.max(now);
+        while let Some((&start, &end)) = self.bookings.first_key_value() {
+            if end <= self.watermark {
+                self.bookings.remove(&start);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Bus occupancy of a completed transaction of this kind.
+    ///
+    /// Block transfers take the sequential-memory time of one page; the
+    /// 150 ns check/update windows are overlapped with the transfer and
+    /// cost no extra bus time (Figure 2). Control cycles (assert-
+    /// ownership, notify, write-action-table) occupy one address cycle.
+    /// Plain word transfers take the memory's first-word latency.
+    pub fn duration(&self, kind: BusTxKind) -> Nanos {
+        if kind.is_block_transfer() {
+            self.mem.page_transfer(self.page_size).max(self.timings.check_interval * 2)
+        } else {
+            match kind {
+                BusTxKind::AssertOwnership | BusTxKind::Notify | BusTxKind::WriteActionTable => {
+                    self.timings.control_cycle.max(self.timings.check_interval * 2)
+                }
+                _ => self.mem.first_word,
+            }
+        }
+    }
+
+    /// Bus occupancy of an *aborted* transaction: the check interval plus
+    /// termination "at the end of the current memory reference" (§3.2).
+    pub fn abort_duration(&self) -> Nanos {
+        self.timings.check_interval + self.mem.first_word
+    }
+
+    /// Records a completed transaction of the given duration (the slot
+    /// was already reserved with [`VmeBus::reserve`]).
+    pub fn complete(&mut self, kind: BusTxKind, dur: Nanos) {
+        self.stats.counts[BusStats::kind_index(kind)] += 1;
+        self.stats.busy.add_busy(dur);
+    }
+
+    /// Records an aborted transaction. The abort happens in the address
+    /// phase — "the bus transaction is terminated at the end of the
+    /// current memory reference" (§3.2) — so it consumes only its own
+    /// short check window and does not delay transfers already queued:
+    /// `free_at` is left unchanged.
+    pub fn abort(&mut self) {
+        self.stats.aborts += 1;
+        self.stats.busy.add_busy(self.abort_duration());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_transfer_durations_match_table1() {
+        assert_eq!(VmeBus::new(PageSize::S128).duration(BusTxKind::ReadShared).as_micros_f64(), 3.4);
+        assert_eq!(VmeBus::new(PageSize::S256).duration(BusTxKind::WriteBack).as_micros_f64(), 6.6);
+        assert_eq!(
+            VmeBus::new(PageSize::S512).duration(BusTxKind::ReadPrivate).as_micros_f64(),
+            13.0
+        );
+    }
+
+    #[test]
+    fn control_cycles_are_short() {
+        let bus = VmeBus::new(PageSize::S256);
+        for kind in [BusTxKind::AssertOwnership, BusTxKind::Notify, BusTxKind::WriteActionTable] {
+            assert_eq!(bus.duration(kind), Nanos::from_ns(300), "{kind}");
+        }
+        assert_eq!(bus.duration(BusTxKind::PlainRead), Nanos::from_ns(300));
+    }
+
+    #[test]
+    fn reservations_serialize() {
+        let mut bus = VmeBus::new(PageSize::S256);
+        let d = bus.duration(BusTxKind::ReadShared);
+        let s1 = bus.reserve(Nanos::ZERO, d);
+        assert_eq!(s1, Nanos::from_ns(100)); // arbitration only
+        let s2 = bus.reserve(Nanos::from_ns(50), d);
+        assert_eq!(s2, s1 + d);
+    }
+
+    #[test]
+    fn reservations_fill_gaps() {
+        // A transfer booked far in the future must not delay a request
+        // that can use the idle bus before it.
+        let mut bus = VmeBus::new(PageSize::S256);
+        let d = bus.duration(BusTxKind::ReadShared); // 6.6 us
+        let far = bus.reserve(Nanos::from_us(100), d);
+        assert_eq!(far, Nanos::from_ns(100_100));
+        let near = bus.reserve(Nanos::ZERO, d);
+        assert!(near + d <= far, "gap-filling failed: {near} vs {far}");
+        // A third request that cannot fit before `far` lands after it.
+        let big = Nanos::from_us(95);
+        let after = bus.reserve(Nanos::from_us(7), big);
+        assert!(after >= far + d, "{after}");
+    }
+
+    #[test]
+    fn advance_prunes_old_bookings() {
+        let mut bus = VmeBus::new(PageSize::S256);
+        let d = bus.duration(BusTxKind::ReadShared);
+        for i in 0..10 {
+            bus.reserve(Nanos::from_us(i * 10), d);
+        }
+        bus.advance_to(Nanos::from_us(200));
+        // Everything pruned: a fresh request at an old ready time is
+        // clamped to the watermark.
+        let s = bus.reserve(Nanos::ZERO, d);
+        assert!(s >= Nanos::from_us(200));
+    }
+
+    #[test]
+    fn abort_occupies_less_than_full_transfer() {
+        let mut bus = VmeBus::new(PageSize::S512);
+        let full = bus.duration(BusTxKind::ReadShared);
+        let abort = bus.abort_duration();
+        assert!(abort < full / 10, "abort {abort} vs full {full}");
+        bus.abort();
+        assert_eq!(bus.stats().aborts, 1);
+        assert_eq!(bus.stats().busy.busy(), abort);
+        // An abort must not delay queued transfers (address-phase only).
+        let d = bus.duration(BusTxKind::ReadShared);
+        assert_eq!(bus.reserve(Nanos::ZERO, d), Nanos::from_ns(100));
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let mut bus = VmeBus::new(PageSize::S256);
+        let d = bus.duration(BusTxKind::ReadShared);
+        bus.complete(BusTxKind::ReadShared, d);
+        bus.complete(BusTxKind::ReadShared, d);
+        let c = bus.duration(BusTxKind::Notify);
+        bus.complete(BusTxKind::Notify, c);
+        assert_eq!(bus.stats().count(BusTxKind::ReadShared), 2);
+        assert_eq!(bus.stats().count(BusTxKind::Notify), 1);
+        assert_eq!(bus.stats().count(BusTxKind::WriteBack), 0);
+        assert_eq!(bus.stats().total(), 3);
+        assert!(bus.stats().to_string().contains("3 tx"));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut bus = VmeBus::new(PageSize::S256);
+        let d = bus.duration(BusTxKind::ReadShared); // 6.6 us
+        bus.complete(BusTxKind::ReadShared, d);
+        let u = bus.stats().utilization(Nanos::from_us(66));
+        assert!((u - 0.1).abs() < 1e-9, "utilization {u}");
+    }
+}

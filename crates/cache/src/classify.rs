@@ -1,0 +1,210 @@
+//! Three-C miss classification: cold / capacity / conflict.
+//!
+//! The classic decomposition (Hill): cold misses are first touches;
+//! capacity misses are what a fully-associative LRU cache of the same
+//! size would still miss; the remainder are conflicts from limited
+//! associativity. Useful for explaining *why* Figure 4's curves fall
+//! with cache size (capacity) and stay low at 4 ways (few conflicts).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use vmp_trace::MemRef;
+use vmp_types::{Asid, VirtPageNum};
+
+use crate::{CacheConfig, TagCache};
+
+/// Result of a three-C classification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreeC {
+    /// Total references.
+    pub refs: u64,
+    /// First-touch (compulsory) misses.
+    pub cold: u64,
+    /// Additional misses a fully-associative LRU cache of equal capacity
+    /// takes.
+    pub capacity: u64,
+    /// Additional misses the real set-associative cache takes.
+    pub conflict: u64,
+}
+
+impl ThreeC {
+    /// Total misses of the real cache.
+    pub fn total_misses(&self) -> u64 {
+        self.cold + self.capacity + self.conflict
+    }
+
+    /// Miss ratio of the real cache.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.total_misses() as f64 / self.refs as f64
+        }
+    }
+}
+
+/// A fully-associative LRU cache over ⟨ASID, page⟩ tags.
+struct FullyAssociative {
+    capacity: usize,
+    clock: u64,
+    last_use: HashMap<(Asid, VirtPageNum), u64>,
+    by_age: BTreeMap<u64, (Asid, VirtPageNum)>,
+}
+
+impl FullyAssociative {
+    fn new(capacity: usize) -> Self {
+        FullyAssociative {
+            capacity,
+            clock: 0,
+            last_use: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    /// Returns `true` on hit.
+    fn access(&mut self, key: (Asid, VirtPageNum)) -> bool {
+        self.clock += 1;
+        let hit = if let Some(&prev) = self.last_use.get(&key) {
+            self.by_age.remove(&prev);
+            true
+        } else {
+            false
+        };
+        self.last_use.insert(key, self.clock);
+        self.by_age.insert(self.clock, key);
+        if self.last_use.len() > self.capacity {
+            let (&age, &victim) = self.by_age.first_key_value().expect("non-empty");
+            self.by_age.remove(&age);
+            self.last_use.remove(&victim);
+        }
+        hit
+    }
+}
+
+/// Classifies every miss of `config` on the reference stream.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::{classify_misses, CacheConfig};
+/// use vmp_trace::MemRef;
+/// use vmp_types::{Asid, PageSize, VirtAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CacheConfig::new(PageSize::S128, 1, 256)?; // 2 pages, direct-mapped
+/// // Two pages mapping to the same set thrash: conflicts, not capacity.
+/// let refs: Vec<MemRef> = (0..10)
+///     .flat_map(|_| {
+///         [MemRef::read(Asid::new(1), VirtAddr::new(0)),
+///          MemRef::read(Asid::new(1), VirtAddr::new(0x100))]
+///     })
+///     .collect();
+/// let c = classify_misses(config, refs);
+/// assert_eq!(c.cold, 2);
+/// assert!(c.conflict > 0);
+/// assert_eq!(c.capacity, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify_misses<I: IntoIterator<Item = MemRef>>(config: CacheConfig, refs: I) -> ThreeC {
+    let mut real = TagCache::new(config);
+    let mut full = FullyAssociative::new(config.total_slots());
+    let mut seen: HashSet<(Asid, VirtPageNum)> = HashSet::new();
+    let page = config.page_size();
+    let mut out = ThreeC::default();
+    for r in refs {
+        out.refs += 1;
+        let key = (r.asid, page.vpn_of(r.addr));
+        let real_hit = real.access(r).is_hit();
+        let full_hit = full.access(key);
+        let first = seen.insert(key);
+        if !real_hit {
+            if first {
+                out.cold += 1;
+            } else if !full_hit {
+                out.capacity += 1;
+            } else {
+                out.conflict += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_types::{PageSize, VirtAddr};
+
+    fn read(asid: u8, addr: u64) -> MemRef {
+        MemRef::read(Asid::new(asid), VirtAddr::new(addr))
+    }
+
+    #[test]
+    fn sequential_first_pass_is_all_cold() {
+        let config = CacheConfig::new(PageSize::S128, 4, 8 * 1024).unwrap();
+        let refs: Vec<MemRef> = (0..32).map(|i| read(1, i * 128)).collect();
+        let c = classify_misses(config, refs);
+        assert_eq!(c.cold, 32);
+        assert_eq!(c.capacity, 0);
+        assert_eq!(c.conflict, 0);
+        assert_eq!(c.total_misses(), 32);
+        assert!((c.miss_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_overflow_is_capacity() {
+        // Fully-associative 4-page cache cycling over 5 pages: pure
+        // capacity misses after the cold pass.
+        let config = CacheConfig::new(PageSize::S128, 4, 512).unwrap(); // 4 slots, 1 set
+        assert_eq!(config.sets(), 1);
+        let mut refs = Vec::new();
+        for _ in 0..10 {
+            for p in 0..5u64 {
+                refs.push(read(1, p * 128));
+            }
+        }
+        let c = classify_misses(config, refs);
+        assert_eq!(c.cold, 5);
+        assert!(c.capacity > 0, "{c:?}");
+        assert_eq!(c.conflict, 0, "single set cannot have conflicts: {c:?}");
+    }
+
+    #[test]
+    fn same_set_thrash_is_conflict() {
+        // 8 slots in 8 sets, direct-mapped; two pages in one set thrash
+        // while the cache is mostly empty: conflicts.
+        let config = CacheConfig::new(PageSize::S128, 1, 1024).unwrap();
+        let mut refs = Vec::new();
+        for _ in 0..10 {
+            refs.push(read(1, 0));
+            refs.push(read(1, 8 * 128)); // same set (vpn ≡ 0 mod 8)
+        }
+        let c = classify_misses(config, refs);
+        assert_eq!(c.cold, 2);
+        assert_eq!(c.capacity, 0);
+        assert!(c.conflict >= 16, "{c:?}");
+    }
+
+    #[test]
+    fn classification_sums_match_real_cache() {
+        // Cross-check against TagCache's own miss count on a pseudo-random
+        // but deterministic stream.
+        let config = CacheConfig::new(PageSize::S256, 2, 4 * 1024).unwrap();
+        let refs: Vec<MemRef> =
+            (0..2000u64).map(|i| read(1, (i * 2654435761) % 16384)).collect();
+        let c = classify_misses(config, refs.clone());
+        let mut cache = TagCache::new(config);
+        let stats = cache.run(refs);
+        assert_eq!(c.total_misses(), stats.misses);
+        assert_eq!(c.refs, stats.refs);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let config = CacheConfig::new(PageSize::S128, 1, 128).unwrap();
+        let c = classify_misses(config, Vec::new());
+        assert_eq!(c, ThreeC::default());
+        assert_eq!(c.miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Cache geometry configuration.
+
+use core::fmt;
+
+use vmp_types::{ConfigError, PageSize, VirtAddr, VirtPageNum};
+
+/// Geometry of a VMP cache: page size × associativity × total capacity.
+///
+/// The number of sets is derived as
+/// `total_bytes / (page_size × associativity)` and must be a power of two
+/// (the hardware indexes sets with address bits).
+///
+/// The VMP prototype is a 4-way set-associative 256 KB cache with
+/// configurable 128/256/512-byte pages (paper §4); the simulation studies
+/// in §5.2 sweep total size from 64 KB to 256 KB.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::CacheConfig;
+/// use vmp_types::PageSize;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = CacheConfig::new(PageSize::S256, 4, 128 * 1024)?;
+/// assert_eq!(c.sets(), 128);
+/// assert_eq!(c.total_slots(), 512);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    page_size: PageSize,
+    associativity: usize,
+    sets: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration from page size, associativity and total
+    /// capacity in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `associativity` is zero, the capacity
+    /// is not an exact multiple of `page_size × associativity`, or the
+    /// derived set count is not a power of two ≥ 1.
+    pub fn new(
+        page_size: PageSize,
+        associativity: usize,
+        total_bytes: u64,
+    ) -> Result<Self, ConfigError> {
+        if associativity == 0 {
+            return Err(ConfigError::ZeroCount { what: "associativity" });
+        }
+        let way_bytes = page_size.bytes() * associativity as u64;
+        if total_bytes == 0 || total_bytes % way_bytes != 0 {
+            return Err(ConfigError::Inconsistent {
+                what: "total cache size must be a non-zero multiple of page_size * associativity",
+            });
+        }
+        let sets = total_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo { what: "derived set count", value: sets });
+        }
+        Ok(CacheConfig { page_size, associativity, sets: sets as usize })
+    }
+
+    /// The VMP prototype configuration: 256 KB, 4-way, 256-byte pages.
+    pub fn prototype() -> Self {
+        CacheConfig::new(PageSize::S256, 4, 256 * 1024)
+            .expect("prototype geometry is statically valid")
+    }
+
+    /// Cache page size.
+    #[inline]
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Ways per set.
+    #[inline]
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total number of cache slots (sets × ways).
+    #[inline]
+    pub fn total_slots(&self) -> usize {
+        self.sets * self.associativity
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_slots() as u64 * self.page_size.bytes()
+    }
+
+    /// The set a virtual address maps to.
+    #[inline]
+    pub fn set_of(&self, va: VirtAddr) -> usize {
+        self.set_of_vpn(self.page_size.vpn_of(va))
+    }
+
+    /// The set a virtual page number maps to.
+    #[inline]
+    pub fn set_of_vpn(&self, vpn: VirtPageNum) -> usize {
+        (vpn.raw() as usize) & (self.sets - 1)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB {}-way, {} pages, {} sets",
+            self.total_bytes() / 1024,
+            self.associativity,
+            self.page_size,
+            self.sets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper() {
+        let c = CacheConfig::prototype();
+        assert_eq!(c.total_bytes(), 256 * 1024);
+        assert_eq!(c.associativity(), 4);
+        assert_eq!(c.page_size(), PageSize::S256);
+        assert_eq!(c.sets(), 256);
+    }
+
+    #[test]
+    fn paper_sweep_geometries_valid() {
+        // §5.2 sweeps 64K–256K caches with 128/256/512-byte pages, 4-way.
+        for &size in &[64u64, 128, 192, 256] {
+            for page in PageSize::PROTOTYPE_SIZES {
+                let c = CacheConfig::new(page, 4, size * 1024);
+                if (size * 1024 / (page.bytes() * 4)).is_power_of_two() {
+                    assert!(c.is_ok(), "{size}K {page} should be valid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(CacheConfig::new(PageSize::S256, 0, 128 * 1024).is_err());
+        assert!(CacheConfig::new(PageSize::S256, 4, 0).is_err());
+        assert!(CacheConfig::new(PageSize::S256, 4, 1000).is_err());
+        // 192 KB / (256·4) = 192 sets: not a power of two.
+        assert!(CacheConfig::new(PageSize::S256, 4, 192 * 1024).is_err());
+        // 3-way makes 128 KB / 768 non-integral.
+        assert!(CacheConfig::new(PageSize::S256, 3, 128 * 1024).is_err());
+    }
+
+    #[test]
+    fn set_mapping_uses_low_vpn_bits() {
+        let c = CacheConfig::new(PageSize::S256, 4, 8 * 1024).unwrap(); // 8 sets
+        assert_eq!(c.sets(), 8);
+        assert_eq!(c.set_of(VirtAddr::new(0)), 0);
+        assert_eq!(c.set_of(VirtAddr::new(256)), 1);
+        assert_eq!(c.set_of(VirtAddr::new(256 * 8)), 0);
+        assert_eq!(c.set_of(VirtAddr::new(256 * 9 + 17)), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CacheConfig::prototype().to_string();
+        assert!(s.contains("256KB"));
+        assert!(s.contains("4-way"));
+    }
+}

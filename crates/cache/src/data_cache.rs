@@ -1,0 +1,233 @@
+//! Byte-accurate cache for the full machine model.
+
+use vmp_types::{Asid, VirtAddr};
+
+use crate::{CacheConfig, SlotFlags, SlotId, Tag, TagArray, Victim};
+
+/// A cache that holds real page contents alongside its tags.
+///
+/// The full VMP machine model moves actual bytes through block transfers
+/// so that the consistency protocol's correctness is *observable*: an
+/// integration test can assert that every read returns the value written
+/// by the most recent protocol-ordered write. The tag/flag/LRU behaviour
+/// is identical to [`crate::TagCache`].
+///
+/// Writes through [`DataCache::write`] set the slot's `modified` flag, as
+/// the cache controller hardware does; all other flag transitions are the
+/// software cache manager's job, as in the real machine.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::{CacheConfig, DataCache, SlotFlags, Tag};
+/// use vmp_types::{Asid, PageSize, VirtAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CacheConfig::new(PageSize::S128, 2, 4096)?;
+/// let mut cache = DataCache::new(config);
+/// let asid = Asid::new(1);
+/// let va = VirtAddr::new(0x100);
+/// let victim = cache.victim_for(asid, va);
+/// let tag = Tag::new(asid, PageSize::S128.vpn_of(va));
+/// cache.install(victim.slot, tag, SlotFlags::private_page(), vec![0; 128]);
+/// let slot = cache.lookup(asid, va).expect("resident");
+/// cache.write(slot, 4, &[1, 2, 3, 4]);
+/// assert_eq!(cache.read(slot, 4, 4), &[1, 2, 3, 4]);
+/// assert!(cache.flags(slot).modified);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    tags: TagArray,
+    data: Vec<Vec<u8>>,
+}
+
+impl DataCache {
+    /// Creates an empty cache with zeroed slot buffers.
+    pub fn new(config: CacheConfig) -> Self {
+        let page = config.page_size().bytes() as usize;
+        let data = vec![vec![0u8; page]; config.total_slots()];
+        DataCache { tags: TagArray::new(config), data }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        self.tags.config()
+    }
+
+    fn idx(&self, id: SlotId) -> usize {
+        id.set * self.config().associativity() + id.way
+    }
+
+    /// Looks up ⟨`asid`, `va`⟩, updating LRU on a hit.
+    pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<SlotId> {
+        self.tags.lookup(asid, va)
+    }
+
+    /// Looks up without disturbing LRU state.
+    pub fn probe(&self, asid: Asid, va: VirtAddr) -> Option<SlotId> {
+        self.tags.probe(asid, va)
+    }
+
+    /// The hardware-suggested victim slot for a missing page.
+    pub fn victim_for(&self, asid: Asid, va: VirtAddr) -> Victim {
+        self.tags.victim_for(asid, va)
+    }
+
+    /// Installs a page: tag, flags and exactly one page of bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly one cache page long.
+    pub fn install(&mut self, id: SlotId, tag: Tag, flags: SlotFlags, bytes: Vec<u8>) {
+        assert_eq!(
+            bytes.len() as u64,
+            self.config().page_size().bytes(),
+            "install requires exactly one cache page of data"
+        );
+        self.tags.install(id, tag, flags);
+        let i = self.idx(id);
+        self.data[i] = bytes;
+    }
+
+    /// Invalidates a slot, returning its tag, flags and content if it was
+    /// valid (so the caller can write back a modified page).
+    pub fn invalidate(&mut self, id: SlotId) -> Option<(Tag, SlotFlags, Vec<u8>)> {
+        let flags = self.tags.flags(id);
+        let tag = self.tags.invalidate(id)?;
+        let i = self.idx(id);
+        let page = self.config().page_size().bytes() as usize;
+        let bytes = std::mem::replace(&mut self.data[i], vec![0u8; page]);
+        Some((tag, flags, bytes))
+    }
+
+    /// Reads `len` bytes at `offset` within a slot's page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the page.
+    pub fn read(&self, id: SlotId, offset: usize, len: usize) -> &[u8] {
+        let i = self.idx(id);
+        &self.data[i][offset..offset + len]
+    }
+
+    /// Writes bytes at `offset` within a slot's page and sets `modified`,
+    /// as the cache hardware does on a write hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the page.
+    pub fn write(&mut self, id: SlotId, offset: usize, bytes: &[u8]) {
+        let i = self.idx(id);
+        self.data[i][offset..offset + bytes.len()].copy_from_slice(bytes);
+        let mut f = self.tags.flags(id);
+        f.modified = true;
+        self.tags.set_flags(id, f);
+    }
+
+    /// Returns a copy of a slot's page contents (e.g. for write-back).
+    pub fn snapshot(&self, id: SlotId) -> Vec<u8> {
+        self.data[self.idx(id)].clone()
+    }
+
+    /// Returns the flags of a slot.
+    pub fn flags(&self, id: SlotId) -> SlotFlags {
+        self.tags.flags(id)
+    }
+
+    /// Replaces the flags of a slot.
+    pub fn set_flags(&mut self, id: SlotId, flags: SlotFlags) {
+        self.tags.set_flags(id, flags);
+    }
+
+    /// Returns the tag of a valid slot.
+    pub fn tag(&self, id: SlotId) -> Option<Tag> {
+        self.tags.tag(id)
+    }
+
+    /// Iterates over all valid slots.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (SlotId, Tag, SlotFlags)> + '_ {
+        self.tags.iter_valid()
+    }
+
+    /// Number of valid slots.
+    pub fn valid_count(&self) -> usize {
+        self.tags.valid_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_types::PageSize;
+
+    fn setup() -> (DataCache, Asid, VirtAddr, SlotId) {
+        let config = CacheConfig::new(PageSize::S128, 2, 1024).unwrap();
+        let mut c = DataCache::new(config);
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x200);
+        let v = c.victim_for(asid, va);
+        let tag = Tag::new(asid, PageSize::S128.vpn_of(va));
+        c.install(v.slot, tag, SlotFlags::shared_clean(), (0..128).map(|i| i as u8).collect());
+        (c, asid, va, v.slot)
+    }
+
+    #[test]
+    fn install_then_read() {
+        let (mut c, asid, va, slot) = setup();
+        assert_eq!(c.lookup(asid, va), Some(slot));
+        assert_eq!(c.read(slot, 0, 4), &[0, 1, 2, 3]);
+        assert_eq!(c.read(slot, 124, 4), &[124, 125, 126, 127]);
+    }
+
+    #[test]
+    fn write_sets_modified() {
+        let (mut c, _, _, slot) = setup();
+        assert!(!c.flags(slot).modified);
+        c.write(slot, 8, &[0xaa, 0xbb]);
+        assert!(c.flags(slot).modified);
+        assert_eq!(c.read(slot, 8, 2), &[0xaa, 0xbb]);
+        assert_eq!(c.read(slot, 10, 1), &[10]); // neighbours untouched
+    }
+
+    #[test]
+    fn invalidate_returns_contents() {
+        let (mut c, asid, va, slot) = setup();
+        c.write(slot, 0, &[9]);
+        let (tag, flags, bytes) = c.invalidate(slot).unwrap();
+        assert_eq!(tag.asid, asid);
+        assert!(flags.modified);
+        assert_eq!(bytes[0], 9);
+        assert_eq!(bytes.len(), 128);
+        assert!(c.lookup(asid, va).is_none());
+        assert!(c.invalidate(slot).is_none());
+        // Buffer is zeroed for the next occupant.
+        assert_eq!(c.read(slot, 0, 4), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn snapshot_copies_without_invalidation() {
+        let (mut c, asid, va, slot) = setup();
+        let snap = c.snapshot(slot);
+        assert_eq!(snap[5], 5);
+        assert!(c.lookup(asid, va).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one cache page")]
+    fn install_rejects_wrong_size() {
+        let (mut c, asid, _, _) = setup();
+        let va = VirtAddr::new(0x400);
+        let v = c.victim_for(asid, va);
+        let tag = Tag::new(asid, PageSize::S128.vpn_of(va));
+        c.install(v.slot, tag, SlotFlags::shared_clean(), vec![0; 64]);
+    }
+
+    #[test]
+    fn valid_count_and_iter() {
+        let (c, _, _, _) = setup();
+        assert_eq!(c.valid_count(), 1);
+        assert_eq!(c.iter_valid().count(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-slot cache flags.
+
+use core::fmt;
+
+/// The flag word the VMP cache controller keeps per slot (paper §4):
+/// valid, modified, exclusive-ownership, supervisor-writable,
+/// user-readable and user-writable.
+///
+/// `exclusive` corresponds to the consistency protocol's *private* state:
+/// this cache owns the page and no other copy exists anywhere.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::SlotFlags;
+///
+/// let f = SlotFlags::shared_clean();
+/// assert!(f.valid && !f.exclusive && !f.modified);
+/// let p = SlotFlags::private_page();
+/// assert!(p.exclusive && p.user_write);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SlotFlags {
+    /// Slot holds a live cache page.
+    pub valid: bool,
+    /// Page has been written since it was loaded (needs write-back).
+    pub modified: bool,
+    /// This cache holds the only copy (protocol state *private*).
+    pub exclusive: bool,
+    /// Supervisor-mode writes permitted.
+    pub supervisor_write: bool,
+    /// User-mode reads permitted.
+    pub user_read: bool,
+    /// User-mode writes permitted.
+    pub user_write: bool,
+}
+
+impl SlotFlags {
+    /// Flags for a freshly loaded shared (read-only-ownership) page.
+    pub const fn shared_clean() -> Self {
+        SlotFlags {
+            valid: true,
+            modified: false,
+            exclusive: false,
+            supervisor_write: false,
+            user_read: true,
+            user_write: false,
+        }
+    }
+
+    /// Flags for a privately owned, writable page.
+    pub const fn private_page() -> Self {
+        SlotFlags {
+            valid: true,
+            modified: false,
+            exclusive: true,
+            supervisor_write: true,
+            user_read: true,
+            user_write: true,
+        }
+    }
+
+    /// An invalid (empty) slot.
+    pub const fn invalid() -> Self {
+        SlotFlags {
+            valid: false,
+            modified: false,
+            exclusive: false,
+            supervisor_write: false,
+            user_read: false,
+            user_write: false,
+        }
+    }
+
+    /// Returns `true` if a write is permitted at the given privilege.
+    ///
+    /// In VMP a write additionally requires `exclusive` ownership; a write
+    /// to a shared page traps so the miss handler can negotiate ownership
+    /// (paper §2). That protocol-level check lives in the machine model;
+    /// this predicate only covers the protection bits.
+    pub const fn write_permitted(&self, supervisor: bool) -> bool {
+        self.valid && if supervisor { self.supervisor_write } else { self.user_write }
+    }
+
+    /// Returns `true` if a read is permitted at the given privilege.
+    pub const fn read_permitted(&self, supervisor: bool) -> bool {
+        self.valid && (supervisor || self.user_read)
+    }
+
+    /// Downgrades the slot to shared/read-only ownership, preserving
+    /// validity. Clears `modified` — callers must write back first.
+    #[must_use]
+    pub const fn downgraded(self) -> Self {
+        SlotFlags {
+            valid: self.valid,
+            modified: false,
+            exclusive: false,
+            supervisor_write: false,
+            user_read: self.user_read,
+            user_write: false,
+        }
+    }
+}
+
+impl fmt::Display for SlotFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = |x: bool, c: char| if x { c } else { '-' };
+        write!(
+            f,
+            "{}{}{}{}{}{}",
+            b(self.valid, 'V'),
+            b(self.modified, 'M'),
+            b(self.exclusive, 'X'),
+            b(self.supervisor_write, 'S'),
+            b(self.user_read, 'r'),
+            b(self.user_write, 'w'),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        assert!(!SlotFlags::invalid().valid);
+        assert!(SlotFlags::shared_clean().valid);
+        assert!(!SlotFlags::shared_clean().exclusive);
+        assert!(SlotFlags::private_page().exclusive);
+        assert_eq!(SlotFlags::default(), SlotFlags::invalid());
+    }
+
+    #[test]
+    fn permissions() {
+        let shared = SlotFlags::shared_clean();
+        assert!(shared.read_permitted(false));
+        assert!(!shared.write_permitted(false));
+        assert!(!shared.write_permitted(true));
+        let private = SlotFlags::private_page();
+        assert!(private.write_permitted(false));
+        assert!(private.write_permitted(true));
+        assert!(!SlotFlags::invalid().read_permitted(true));
+    }
+
+    #[test]
+    fn downgrade_clears_write_and_modified() {
+        let mut p = SlotFlags::private_page();
+        p.modified = true;
+        let d = p.downgraded();
+        assert!(d.valid);
+        assert!(!d.exclusive);
+        assert!(!d.modified);
+        assert!(!d.user_write);
+        assert!(d.user_read);
+    }
+
+    #[test]
+    fn display_encodes_all_bits() {
+        assert_eq!(SlotFlags::invalid().to_string(), "------");
+        assert_eq!(SlotFlags::private_page().to_string(), "V-XSrw");
+        let mut f = SlotFlags::shared_clean();
+        f.modified = true;
+        assert_eq!(f.to_string(), "VM--r-");
+    }
+}

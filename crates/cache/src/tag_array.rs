@@ -1,0 +1,391 @@
+//! The tag/flag array shared by both cache front-ends.
+
+use core::fmt;
+
+use vmp_types::{Asid, VirtAddr, VirtPageNum};
+
+use crate::{CacheConfig, SlotFlags};
+
+/// A cache tag: the ⟨ASID, virtual page⟩ pair a slot matches on.
+///
+/// Because the tag includes the full virtual page number, the same
+/// physical frame mapped at two virtual addresses occupies two distinct
+/// slots — the *alias* situation whose consistency the bus monitor
+/// resolves (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// Address space of the cached page.
+    pub asid: Asid,
+    /// Virtual page number of the cached page.
+    pub vpn: VirtPageNum,
+}
+
+impl Tag {
+    /// Creates a tag.
+    pub const fn new(asid: Asid, vpn: VirtPageNum) -> Self {
+        Tag { asid, vpn }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.asid, self.vpn)
+    }
+}
+
+/// Identifies one cache slot by set and way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId {
+    /// Set index.
+    pub set: usize,
+    /// Way within the set.
+    pub way: usize,
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot[{},{}]", self.set, self.way)
+    }
+}
+
+/// The hardware's suggested replacement victim for a missing page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The slot to replace.
+    pub slot: SlotId,
+    /// Tag currently in the slot, if the slot is valid.
+    pub evicted: Option<Tag>,
+    /// Whether the current occupant is modified (needs write-back).
+    pub modified: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    tag: Option<Tag>,
+    flags: SlotFlags,
+    last_use: u64,
+}
+
+/// The tag, flag and LRU state of every cache slot.
+///
+/// Mirrors what the VMP cache controller implements in hardware: tag
+/// match on ⟨ASID, VA⟩, per-slot flag word, and an LRU-based *suggested*
+/// victim on miss (paper §4). All mutation of flags and tags is performed
+/// by the (software) caller, as in the real machine.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::{CacheConfig, SlotFlags, Tag, TagArray};
+/// use vmp_types::{Asid, PageSize, VirtAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut tags = TagArray::new(CacheConfig::new(PageSize::S128, 2, 4096)?);
+/// let va = VirtAddr::new(0x80);
+/// assert!(tags.lookup(Asid::new(1), va).is_none());
+/// let victim = tags.victim_for(Asid::new(1), va);
+/// tags.install(victim.slot, Tag::new(Asid::new(1), PageSize::S128.vpn_of(va)),
+///              SlotFlags::shared_clean());
+/// assert!(tags.lookup(Asid::new(1), va).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    config: CacheConfig,
+    slots: Vec<Slot>,
+    clock: u64,
+}
+
+impl TagArray {
+    /// Creates an empty (all-invalid) tag array.
+    pub fn new(config: CacheConfig) -> Self {
+        let slots = (0..config.total_slots())
+            .map(|_| Slot { tag: None, flags: SlotFlags::invalid(), last_use: 0 })
+            .collect();
+        TagArray { config, slots, clock: 0 }
+    }
+
+    /// The geometry this array was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn idx(&self, id: SlotId) -> usize {
+        debug_assert!(id.set < self.config.sets() && id.way < self.config.associativity());
+        id.set * self.config.associativity() + id.way
+    }
+
+    /// Looks up the slot holding `va` in address space `asid`, updating
+    /// LRU state on a hit.
+    pub fn lookup(&mut self, asid: Asid, va: VirtAddr) -> Option<SlotId> {
+        let id = self.probe(asid, va)?;
+        self.touch(id);
+        Some(id)
+    }
+
+    /// Looks up without disturbing LRU state (for inspection/validation).
+    pub fn probe(&self, asid: Asid, va: VirtAddr) -> Option<SlotId> {
+        let vpn = self.config.page_size().vpn_of(va);
+        let tag = Tag::new(asid, vpn);
+        let set = self.config.set_of_vpn(vpn);
+        for way in 0..self.config.associativity() {
+            let id = SlotId { set, way };
+            let slot = &self.slots[self.idx(id)];
+            if slot.flags.valid && slot.tag == Some(tag) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Records a use of `id` for LRU purposes.
+    pub fn touch(&mut self, id: SlotId) {
+        self.clock += 1;
+        let clock = self.clock;
+        let i = self.idx(id);
+        self.slots[i].last_use = clock;
+    }
+
+    /// The hardware-suggested victim for a miss on ⟨`asid`, `va`⟩:
+    /// an invalid way if one exists, otherwise the LRU way of the set.
+    pub fn victim_for(&self, asid: Asid, va: VirtAddr) -> Victim {
+        let _ = asid;
+        let set = self.config.set_of(va);
+        let mut best: Option<(SlotId, u64)> = None;
+        for way in 0..self.config.associativity() {
+            let id = SlotId { set, way };
+            let slot = &self.slots[self.idx(id)];
+            if !slot.flags.valid {
+                return Victim { slot: id, evicted: None, modified: false };
+            }
+            match best {
+                Some((_, t)) if slot.last_use >= t => {}
+                _ => best = Some((id, slot.last_use)),
+            }
+        }
+        let (id, _) = best.expect("associativity is non-zero");
+        let slot = &self.slots[self.idx(id)];
+        Victim { slot: id, evicted: slot.tag, modified: slot.flags.modified }
+    }
+
+    /// Installs `tag` with `flags` into `id`, returning the previous tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the tag would not map to `id.set` or the
+    /// same tag is already valid in another way of the set (a duplicate
+    /// would make lookups ambiguous).
+    pub fn install(&mut self, id: SlotId, tag: Tag, flags: SlotFlags) -> Option<Tag> {
+        debug_assert_eq!(self.config.set_of_vpn(tag.vpn), id.set, "tag must map to its set");
+        #[cfg(debug_assertions)]
+        for way in 0..self.config.associativity() {
+            if way != id.way {
+                let other = &self.slots[self.idx(SlotId { set: id.set, way })];
+                debug_assert!(
+                    !(other.flags.valid && other.tag == Some(tag)),
+                    "duplicate tag {tag} in set {}",
+                    id.set
+                );
+            }
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let i = self.idx(id);
+        let prev = self.slots[i].tag;
+        self.slots[i] = Slot { tag: Some(tag), flags, last_use: clock };
+        prev
+    }
+
+    /// Invalidates a slot, returning its previous tag if it was valid.
+    pub fn invalidate(&mut self, id: SlotId) -> Option<Tag> {
+        let i = self.idx(id);
+        let was = if self.slots[i].flags.valid { self.slots[i].tag } else { None };
+        self.slots[i].tag = None;
+        self.slots[i].flags = SlotFlags::invalid();
+        was
+    }
+
+    /// Returns the flags of a slot.
+    pub fn flags(&self, id: SlotId) -> SlotFlags {
+        self.slots[self.idx(id)].flags
+    }
+
+    /// Replaces the flags of a slot.
+    pub fn set_flags(&mut self, id: SlotId, flags: SlotFlags) {
+        let i = self.idx(id);
+        self.slots[i].flags = flags;
+    }
+
+    /// Returns the tag of a slot if valid.
+    pub fn tag(&self, id: SlotId) -> Option<Tag> {
+        let i = self.idx(id);
+        if self.slots[i].flags.valid {
+            self.slots[i].tag
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all valid slots as `(SlotId, Tag, SlotFlags)`.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (SlotId, Tag, SlotFlags)> + '_ {
+        let assoc = self.config.associativity();
+        self.slots.iter().enumerate().filter_map(move |(i, s)| {
+            if s.flags.valid {
+                s.tag.map(|t| (SlotId { set: i / assoc, way: i % assoc }, t, s.flags))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of valid slots.
+    pub fn valid_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.flags.valid).count()
+    }
+
+    /// Invalidates every slot (not needed on context switch thanks to
+    /// ASID tags; used for address-space teardown tests and resets).
+    pub fn invalidate_all(&mut self) {
+        for s in &mut self.slots {
+            s.tag = None;
+            s.flags = SlotFlags::invalid();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_types::PageSize;
+
+    fn small() -> TagArray {
+        // 2 sets × 2 ways × 128 B pages.
+        TagArray::new(CacheConfig::new(PageSize::S128, 2, 512).unwrap())
+    }
+
+    fn tag_for(arr: &TagArray, asid: u8, va: u64) -> Tag {
+        Tag::new(Asid::new(asid), arr.config().page_size().vpn_of(VirtAddr::new(va)))
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut a = small();
+        let va = VirtAddr::new(0x100);
+        assert!(a.lookup(Asid::new(1), va).is_none());
+        let v = a.victim_for(Asid::new(1), va);
+        assert!(v.evicted.is_none());
+        let t = tag_for(&a, 1, 0x100);
+        a.install(v.slot, t, SlotFlags::shared_clean());
+        let hit = a.lookup(Asid::new(1), va).unwrap();
+        assert_eq!(hit, v.slot);
+        assert_eq!(a.tag(hit), Some(t));
+        assert_eq!(a.valid_count(), 1);
+    }
+
+    #[test]
+    fn asid_disambiguates_identical_addresses() {
+        let mut a = small();
+        let va = VirtAddr::new(0x80);
+        let v = a.victim_for(Asid::new(1), va);
+        a.install(v.slot, tag_for(&a, 1, 0x80), SlotFlags::shared_clean());
+        assert!(a.lookup(Asid::new(1), va).is_some());
+        assert!(a.lookup(Asid::new(2), va).is_none());
+    }
+
+    #[test]
+    fn victim_prefers_invalid_way() {
+        let mut a = small();
+        let v0 = a.victim_for(Asid::new(1), VirtAddr::new(0));
+        a.install(v0.slot, tag_for(&a, 1, 0), SlotFlags::shared_clean());
+        let v1 = a.victim_for(Asid::new(1), VirtAddr::new(0x100)); // same set (2 sets of 128B)
+        assert_ne!(v0.slot, v1.slot);
+        assert!(v1.evicted.is_none());
+    }
+
+    #[test]
+    fn victim_is_lru_when_set_full() {
+        let mut a = small();
+        // Set 0 holds pages 0 and 2 (vpn % 2 == 0).
+        let t0 = tag_for(&a, 1, 0);
+        let t2 = tag_for(&a, 1, 0x100);
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0));
+        a.install(v.slot, t0, SlotFlags::shared_clean());
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0x100));
+        a.install(v.slot, t2, SlotFlags::shared_clean());
+        // Touch t0 so t2 becomes LRU.
+        a.lookup(Asid::new(1), VirtAddr::new(0)).unwrap();
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0x200));
+        assert_eq!(v.evicted, Some(t2));
+        // Touch order flipped: now t0 is LRU.
+        a.lookup(Asid::new(1), VirtAddr::new(0x100)).unwrap();
+        a.lookup(Asid::new(1), VirtAddr::new(0x100)).unwrap();
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0x200));
+        assert_eq!(v.evicted, Some(t0));
+    }
+
+    #[test]
+    fn victim_reports_modified() {
+        let mut a = TagArray::new(CacheConfig::new(PageSize::S128, 1, 128).unwrap());
+        let t = tag_for(&a, 1, 0);
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0));
+        let mut flags = SlotFlags::private_page();
+        flags.modified = true;
+        a.install(v.slot, t, flags);
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0x80));
+        assert_eq!(v.evicted, Some(t));
+        assert!(v.modified);
+    }
+
+    #[test]
+    fn invalidate_frees_slot() {
+        let mut a = small();
+        let va = VirtAddr::new(0);
+        let v = a.victim_for(Asid::new(1), va);
+        a.install(v.slot, tag_for(&a, 1, 0), SlotFlags::private_page());
+        let t = a.invalidate(v.slot);
+        assert_eq!(t, Some(tag_for(&a, 1, 0)));
+        assert!(a.lookup(Asid::new(1), va).is_none());
+        assert_eq!(a.invalidate(v.slot), None);
+        assert_eq!(a.valid_count(), 0);
+    }
+
+    #[test]
+    fn flags_roundtrip_and_iter() {
+        let mut a = small();
+        let v = a.victim_for(Asid::new(3), VirtAddr::new(0x80));
+        a.install(v.slot, tag_for(&a, 3, 0x80), SlotFlags::shared_clean());
+        let mut f = a.flags(v.slot);
+        f.modified = true;
+        a.set_flags(v.slot, f);
+        assert!(a.flags(v.slot).modified);
+        let all: Vec<_> = a.iter_valid().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, v.slot);
+        a.invalidate_all();
+        assert_eq!(a.iter_valid().count(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate tag")]
+    fn install_rejects_duplicate_tag_in_set() {
+        let mut a = small();
+        let t = tag_for(&a, 1, 0);
+        a.install(SlotId { set: 0, way: 0 }, t, SlotFlags::shared_clean());
+        a.install(SlotId { set: 0, way: 1 }, t, SlotFlags::shared_clean());
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut a = small();
+        let t0 = tag_for(&a, 1, 0);
+        let t2 = tag_for(&a, 1, 0x100);
+        a.install(SlotId { set: 0, way: 0 }, t0, SlotFlags::shared_clean());
+        a.install(SlotId { set: 0, way: 1 }, t2, SlotFlags::shared_clean());
+        // t0 is older. Probing it must not promote it.
+        assert!(a.probe(Asid::new(1), VirtAddr::new(0)).is_some());
+        let v = a.victim_for(Asid::new(1), VirtAddr::new(0x200));
+        assert_eq!(v.evicted, Some(t0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Windowed miss-ratio time series.
+//!
+//! Cold-start simulations (Figure 4) mix a compulsory-miss transient
+//! with the steady state; a windowed series makes the transient visible
+//! and lets experiments report both (the §5.3 machine sweep's note about
+//! cold-start inflation is quantified with this tool).
+
+use vmp_trace::MemRef;
+
+use crate::{CacheConfig, TagCache};
+
+/// Miss ratio per fixed-size window of references.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::{CacheConfig, WindowedMissRatio};
+/// use vmp_trace::MemRef;
+/// use vmp_types::{Asid, PageSize, VirtAddr};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CacheConfig::new(PageSize::S256, 4, 64 * 1024)?;
+/// let mut w = WindowedMissRatio::new(config, 100);
+/// // A tight loop: after the cold window, later windows are all hits.
+/// for i in 0..500u64 {
+///     w.access(MemRef::read(Asid::new(1), VirtAddr::new((i % 8) * 4)));
+/// }
+/// let series = w.finish();
+/// assert!(series[0] > 0.0);
+/// assert_eq!(series[4], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedMissRatio {
+    cache: TagCache,
+    window: usize,
+    in_window: usize,
+    misses_in_window: u64,
+    series: Vec<f64>,
+}
+
+impl WindowedMissRatio {
+    /// Creates a recorder over a cold cache with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(config: CacheConfig, window: usize) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        WindowedMissRatio {
+            cache: TagCache::new(config),
+            window,
+            in_window: 0,
+            misses_in_window: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Presents one reference.
+    pub fn access(&mut self, r: MemRef) {
+        if !self.cache.access(r).is_hit() {
+            self.misses_in_window += 1;
+        }
+        self.in_window += 1;
+        if self.in_window == self.window {
+            self.series.push(self.misses_in_window as f64 / self.window as f64);
+            self.in_window = 0;
+            self.misses_in_window = 0;
+        }
+    }
+
+    /// The completed windows so far.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// Consumes the recorder, flushing any partial final window.
+    pub fn finish(mut self) -> Vec<f64> {
+        if self.in_window > 0 {
+            self.series.push(self.misses_in_window as f64 / self.in_window as f64);
+        }
+        self.series
+    }
+
+    /// Steady-state estimate: the mean of the second half of the series
+    /// (crude but robust against the cold transient). Zero when fewer
+    /// than two windows completed.
+    pub fn steady_state(&self) -> f64 {
+        let n = self.series.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let tail = &self.series[n / 2..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// The overall miss ratio (all windows, including the transient).
+    pub fn overall(&self) -> f64 {
+        self.cache.stats().miss_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmp_types::{Asid, PageSize, VirtAddr};
+
+    fn config() -> CacheConfig {
+        CacheConfig::new(PageSize::S128, 4, 8 * 1024).unwrap()
+    }
+
+    fn read(addr: u64) -> MemRef {
+        MemRef::read(Asid::new(1), VirtAddr::new(addr))
+    }
+
+    #[test]
+    fn cold_transient_then_steady_zero() {
+        let mut w = WindowedMissRatio::new(config(), 64);
+        // 16 pages fit easily: all misses land in the first windows.
+        for round in 0..8 {
+            for p in 0..16u64 {
+                let _ = round;
+                for word in 0..4u64 {
+                    w.access(read(p * 128 + word * 4));
+                }
+            }
+        }
+        let steady = w.steady_state();
+        assert_eq!(steady, 0.0, "series: {:?}", w.series());
+        assert!(w.overall() > 0.0, "cold misses exist overall");
+    }
+
+    #[test]
+    fn partial_window_flushed_on_finish() {
+        let mut w = WindowedMissRatio::new(config(), 100);
+        for i in 0..150u64 {
+            w.access(read(i * 128)); // every ref a fresh page: all miss
+        }
+        let series = w.finish();
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - 1.0).abs() < 1e-12);
+        assert!((series[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_access_before_finish() {
+        let mut w = WindowedMissRatio::new(config(), 10);
+        for i in 0..25u64 {
+            w.access(read(i % 3 * 128));
+        }
+        assert_eq!(w.series().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_zero_window() {
+        let _ = WindowedMissRatio::new(config(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Machine configuration.
+
+use vmp_bus::BusTimings;
+use vmp_cache::CacheConfig;
+use vmp_mem::MemTimings;
+use vmp_types::{ConfigError, Nanos, PageSize};
+
+/// Software timing of the cache-management routines running on each CPU.
+///
+/// The miss-handler phase split (`miss_pre`/`miss_mid`/`miss_post`)
+/// matches `vmp_analytic::MissCostModel::paper`: ≈13.6 µs total, with the
+/// `mid` phase overlappable with a victim write-back (§5.1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuTimings {
+    /// Mean time per memory reference at full speed (2.4 MIPS ×
+    /// 1.2 refs/instr → ≈347 ns).
+    pub ref_cycle: Nanos,
+    /// Miss-handler software before any transfer can start (exception
+    /// entry, state save, decode).
+    pub miss_pre: Nanos,
+    /// Miss-handler software overlappable with a write-back transfer
+    /// (translation, victim bookkeeping).
+    pub miss_mid: Nanos,
+    /// Miss-handler software after which the read transfer still
+    /// completes (flag setup, RTE).
+    pub miss_post: Nanos,
+    /// Software cost of the write-permission upgrade trap
+    /// (assert-ownership negotiation: trap + RTE, no transfer).
+    pub upgrade_software: Nanos,
+    /// Software cost of servicing one consistency-interrupt word.
+    pub consistency_service: Nanos,
+    /// Operating-system cost of a real page fault (demand-zero fill).
+    pub page_fault: Nanos,
+    /// Delay between an aborted bus transaction and the re-trap that
+    /// retries the faulting instruction.
+    pub retry_backoff: Nanos,
+    /// Software cost of the FIFO-overflow recovery sweep, per valid
+    /// cache slot examined.
+    pub overflow_recovery_per_slot: Nanos,
+    /// Timeout for a parked [`crate::Op::WaitNotify`]: the kernel
+    /// "suspends for a timeout period" (§5.4), which also covers the
+    /// missed-wakeup race between watch setup and notification.
+    pub notify_timeout: Nanos,
+}
+
+impl Default for CpuTimings {
+    fn default() -> Self {
+        CpuTimings {
+            ref_cycle: Nanos::from_ns(347),
+            miss_pre: Nanos::from_ns(6_000),
+            miss_mid: Nanos::from_ns(3_400),
+            miss_post: Nanos::from_ns(4_200),
+            upgrade_software: Nanos::from_ns(10_200),
+            consistency_service: Nanos::from_ns(3_000),
+            page_fault: Nanos::from_ns(100_000),
+            retry_backoff: Nanos::from_ns(1_000),
+            overflow_recovery_per_slot: Nanos::from_ns(200),
+            notify_timeout: Nanos::from_us(500),
+        }
+    }
+}
+
+/// Configuration of a whole VMP machine.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_core::MachineConfig;
+///
+/// let config = MachineConfig::default();
+/// assert_eq!(config.processors, 4);
+/// let small = MachineConfig::small();
+/// assert!(small.memory_bytes < config.memory_bytes);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processor boards.
+    pub processors: usize,
+    /// Per-processor cache geometry.
+    pub cache: CacheConfig,
+    /// Shared main-memory size in bytes (the prototype allows up to 8 MB).
+    pub memory_bytes: u64,
+    /// Bus timing parameters.
+    pub bus: BusTimings,
+    /// Main-memory block-transfer timing.
+    pub mem_timings: MemTimings,
+    /// CPU and handler software timing.
+    pub cpu: CpuTimings,
+    /// Run the protocol invariant validator after every processor step
+    /// (slow; intended for tests).
+    pub validate_each_step: bool,
+    /// Stop the simulation at this time even if programs have not halted.
+    pub max_time: Nanos,
+}
+
+impl Default for MachineConfig {
+    /// Four processors with the prototype cache (256 KB, 4-way, 256-byte
+    /// pages) and 4 MB of main memory.
+    fn default() -> Self {
+        MachineConfig {
+            processors: 4,
+            cache: CacheConfig::prototype(),
+            memory_bytes: 4 * 1024 * 1024,
+            bus: BusTimings::default(),
+            mem_timings: MemTimings::default(),
+            cpu: CpuTimings::default(),
+            validate_each_step: false,
+            max_time: Nanos::from_ms(10_000),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A small configuration for unit tests and examples: two processors,
+    /// an 8 KB 2-way cache of 128-byte pages, 64 KB of memory, with
+    /// per-step validation enabled.
+    pub fn small() -> Self {
+        MachineConfig {
+            processors: 2,
+            cache: CacheConfig::new(PageSize::S128, 2, 8 * 1024)
+                .expect("small geometry is statically valid"),
+            memory_bytes: 64 * 1024,
+            validate_each_step: true,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if there are no processors, memory is
+    /// smaller than one cache page, or memory is not a whole number of
+    /// cache pages.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.processors == 0 {
+            return Err(ConfigError::ZeroCount { what: "processors" });
+        }
+        let page = self.cache.page_size().bytes();
+        if self.memory_bytes < page {
+            return Err(ConfigError::Inconsistent { what: "memory smaller than one cache page" });
+        }
+        if self.memory_bytes % page != 0 {
+            return Err(ConfigError::Inconsistent {
+                what: "memory must be a whole number of cache pages",
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of page frames in main memory.
+    pub fn frames(&self) -> u64 {
+        self.memory_bytes / self.cache.page_size().bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        MachineConfig::default().check().unwrap();
+        MachineConfig::small().check().unwrap();
+    }
+
+    #[test]
+    fn default_matches_prototype() {
+        let c = MachineConfig::default();
+        assert_eq!(c.cache.total_bytes(), 256 * 1024);
+        assert_eq!(c.frames(), 4 * 1024 * 1024 / 256);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = MachineConfig::default();
+        c.processors = 0;
+        assert!(c.check().is_err());
+        let mut c = MachineConfig::default();
+        c.memory_bytes = 100;
+        assert!(c.check().is_err());
+        let mut c = MachineConfig::default();
+        c.memory_bytes = 256 * 3 + 1;
+        assert!(c.check().is_err());
+    }
+
+    #[test]
+    fn cpu_timings_match_analytic_model() {
+        let t = CpuTimings::default();
+        assert_eq!(
+            (t.miss_pre + t.miss_mid + t.miss_post).as_micros_f64(),
+            13.6
+        );
+        assert_eq!(t.upgrade_software, t.miss_pre + t.miss_post);
+    }
+}
+
+/// Builder for [`MachineConfig`] (and, via [`MachineBuilder::build`],
+/// for a whole machine).
+///
+/// # Examples
+///
+/// ```
+/// use vmp_core::MachineBuilder;
+/// use vmp_types::PageSize;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let machine = MachineBuilder::new()
+///     .processors(2)
+///     .cache_geometry(PageSize::S128, 2, 16 * 1024)?
+///     .memory_bytes(256 * 1024)
+///     .validate_each_step(true)
+///     .build()?;
+/// assert_eq!(machine.processors(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    config: MachineConfig,
+}
+
+impl MachineBuilder {
+    /// Starts from the default (prototype) configuration.
+    pub fn new() -> Self {
+        MachineBuilder { config: MachineConfig::default() }
+    }
+
+    /// Sets the number of processor boards.
+    pub fn processors(mut self, n: usize) -> Self {
+        self.config.processors = n;
+        self
+    }
+
+    /// Sets the cache geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid geometry (see
+    /// [`vmp_cache::CacheConfig::new`]).
+    pub fn cache_geometry(
+        mut self,
+        page: PageSize,
+        associativity: usize,
+        total_bytes: u64,
+    ) -> Result<Self, ConfigError> {
+        self.config.cache = CacheConfig::new(page, associativity, total_bytes)?;
+        Ok(self)
+    }
+
+    /// Sets the main-memory size in bytes.
+    pub fn memory_bytes(mut self, bytes: u64) -> Self {
+        self.config.memory_bytes = bytes;
+        self
+    }
+
+    /// Replaces the CPU/handler timing parameters.
+    pub fn cpu_timings(mut self, cpu: CpuTimings) -> Self {
+        self.config.cpu = cpu;
+        self
+    }
+
+    /// Sets the demand-zero page-fault service time (a common knob:
+    /// experiments that study cache behaviour often zero it).
+    pub fn page_fault(mut self, cost: Nanos) -> Self {
+        self.config.cpu.page_fault = cost;
+        self
+    }
+
+    /// Enables or disables per-event invariant validation.
+    pub fn validate_each_step(mut self, on: bool) -> Self {
+        self.config.validate_each_step = on;
+        self
+    }
+
+    /// Sets the simulation time limit.
+    pub fn max_time(mut self, limit: Nanos) -> Self {
+        self.config.max_time = limit;
+        self
+    }
+
+    /// Returns the accumulated configuration without building a machine.
+    pub fn config(self) -> MachineConfig {
+        self.config
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MachineError::Config`] if the configuration is
+    /// inconsistent.
+    pub fn build(self) -> Result<crate::Machine, crate::MachineError> {
+        crate::Machine::build(self.config)
+    }
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        MachineBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let config = MachineBuilder::new()
+            .processors(3)
+            .memory_bytes(1024 * 1024)
+            .page_fault(Nanos::ZERO)
+            .max_time(Nanos::from_ms(5))
+            .validate_each_step(true)
+            .config();
+        assert_eq!(config.processors, 3);
+        assert_eq!(config.memory_bytes, 1024 * 1024);
+        assert_eq!(config.cpu.page_fault, Nanos::ZERO);
+        assert_eq!(config.max_time, Nanos::from_ms(5));
+        assert!(config.validate_each_step);
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry() {
+        assert!(MachineBuilder::new().cache_geometry(PageSize::S256, 3, 1000).is_err());
+    }
+
+    #[test]
+    fn builder_builds_machine() {
+        let m = MachineBuilder::new().processors(1).build().unwrap();
+        assert_eq!(m.processors(), 1);
+    }
+}

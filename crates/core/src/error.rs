@@ -1,0 +1,110 @@
+//! Machine-level errors.
+
+use core::fmt;
+
+use vmp_types::{Asid, ConfigError, ProcessorId, VirtAddr};
+
+/// Errors from building or driving a [`crate::Machine`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// A processor index was out of range.
+    NoSuchProcessor {
+        /// The offending index.
+        index: usize,
+        /// How many processors the machine has.
+        processors: usize,
+    },
+    /// Main memory is exhausted: a demand-zero page fault could not
+    /// allocate a frame.
+    OutOfMemory {
+        /// The faulting address space.
+        asid: Asid,
+        /// The faulting address.
+        addr: VirtAddr,
+    },
+    /// The simulation hit `max_time` before all programs halted.
+    TimeLimit {
+        /// Processors still running at the limit.
+        still_running: Vec<ProcessorId>,
+    },
+    /// A protocol invariant was violated (a simulator bug, not a
+    /// workload error).
+    InvariantViolated(String),
+    /// A notification was issued for an unmapped address.
+    UnmappedNotify {
+        /// The address space.
+        asid: Asid,
+        /// The unmapped address.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Config(e) => write!(f, "invalid machine configuration: {e}"),
+            MachineError::NoSuchProcessor { index, processors } => {
+                write!(f, "processor {index} out of range (machine has {processors})")
+            }
+            MachineError::OutOfMemory { asid, addr } => {
+                write!(f, "out of physical memory faulting {addr} in {asid}")
+            }
+            MachineError::TimeLimit { still_running } => {
+                write!(f, "time limit reached with {} processors running", still_running.len())
+            }
+            MachineError::InvariantViolated(msg) => write!(f, "protocol invariant violated: {msg}"),
+            MachineError::UnmappedNotify { asid, addr } => {
+                write!(f, "notify on unmapped address {addr} in {asid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for MachineError {
+    fn from(e: ConfigError) -> Self {
+        MachineError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = MachineError::NoSuchProcessor { index: 9, processors: 2 };
+        assert!(e.to_string().contains('9'));
+        let e = MachineError::OutOfMemory { asid: Asid::new(1), addr: VirtAddr::new(0x10) };
+        assert!(e.to_string().contains("memory"));
+        let e = MachineError::TimeLimit { still_running: vec![ProcessorId::new(0)] };
+        assert!(e.to_string().contains("time limit"));
+        let e = MachineError::InvariantViolated("two owners".into());
+        assert!(e.to_string().contains("two owners"));
+    }
+
+    #[test]
+    fn config_error_converts_with_source() {
+        use std::error::Error;
+        let e: MachineError = ConfigError::ZeroCount { what: "processors" }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("processors"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MachineError>();
+    }
+}

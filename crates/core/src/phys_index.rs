@@ -1,0 +1,159 @@
+//! The software physical→cache-slot index kept in local memory.
+
+use std::collections::{BTreeSet, HashMap};
+
+use vmp_cache::SlotId;
+use vmp_types::FrameNum;
+
+/// The miss handler's record of which cache slots hold which physical
+/// frames.
+///
+/// The cache itself is virtually indexed, but consistency interrupts
+/// arrive with *physical* addresses, so "information about the state of
+/// each cache page and the mapping from physical address to cache page is
+/// maintained by the processor in the local memory" (paper §3.3). Because
+/// of virtual-address aliasing one frame may occupy several slots.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_cache::SlotId;
+/// use vmp_core::PhysIndex;
+/// use vmp_types::FrameNum;
+///
+/// let mut idx = PhysIndex::new();
+/// idx.insert(FrameNum::new(3), SlotId { set: 0, way: 1 });
+/// assert_eq!(idx.slots(FrameNum::new(3)).len(), 1);
+/// idx.remove(FrameNum::new(3), SlotId { set: 0, way: 1 });
+/// assert!(idx.slots(FrameNum::new(3)).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PhysIndex {
+    by_frame: HashMap<FrameNum, BTreeSet<SlotId>>,
+    by_slot: HashMap<SlotId, FrameNum>,
+}
+
+impl PhysIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `slot` now holds `frame`.
+    ///
+    /// If the slot previously held another frame, that stale entry is
+    /// removed first (replacement without explicit invalidation).
+    pub fn insert(&mut self, frame: FrameNum, slot: SlotId) {
+        if let Some(old) = self.by_slot.insert(slot, frame) {
+            if old != frame {
+                if let Some(set) = self.by_frame.get_mut(&old) {
+                    set.remove(&slot);
+                    if set.is_empty() {
+                        self.by_frame.remove(&old);
+                    }
+                }
+            }
+        }
+        self.by_frame.entry(frame).or_default().insert(slot);
+    }
+
+    /// Removes the record for `slot` holding `frame`.
+    pub fn remove(&mut self, frame: FrameNum, slot: SlotId) {
+        if self.by_slot.get(&slot) == Some(&frame) {
+            self.by_slot.remove(&slot);
+        }
+        if let Some(set) = self.by_frame.get_mut(&frame) {
+            set.remove(&slot);
+            if set.is_empty() {
+                self.by_frame.remove(&frame);
+            }
+        }
+    }
+
+    /// All slots (aliases) currently holding `frame`, in deterministic
+    /// order.
+    pub fn slots(&self, frame: FrameNum) -> Vec<SlotId> {
+        self.by_frame.get(&frame).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// The frame a slot holds, if recorded.
+    pub fn frame_of(&self, slot: SlotId) -> Option<FrameNum> {
+        self.by_slot.get(&slot).copied()
+    }
+
+    /// Number of distinct frames with at least one cached copy.
+    pub fn frames_cached(&self) -> usize {
+        self.by_frame.len()
+    }
+
+    /// Iterates over `(frame, slot)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (FrameNum, SlotId)> + '_ {
+        let mut frames: Vec<_> = self.by_frame.iter().collect();
+        frames.sort_by_key(|(f, _)| **f);
+        frames
+            .into_iter()
+            .flat_map(|(f, slots)| slots.iter().map(move |s| (*f, *s)))
+    }
+
+    /// Forgets everything (address-space teardown, overflow recovery).
+    pub fn clear(&mut self) {
+        self.by_frame.clear();
+        self.by_slot.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(set: usize, way: usize) -> SlotId {
+        SlotId { set, way }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = PhysIndex::new();
+        idx.insert(FrameNum::new(1), slot(0, 0));
+        idx.insert(FrameNum::new(1), slot(2, 1)); // alias
+        idx.insert(FrameNum::new(2), slot(3, 0));
+        assert_eq!(idx.slots(FrameNum::new(1)), vec![slot(0, 0), slot(2, 1)]);
+        assert_eq!(idx.frame_of(slot(3, 0)), Some(FrameNum::new(2)));
+        assert_eq!(idx.frames_cached(), 2);
+        idx.remove(FrameNum::new(1), slot(0, 0));
+        assert_eq!(idx.slots(FrameNum::new(1)), vec![slot(2, 1)]);
+        idx.remove(FrameNum::new(1), slot(2, 1));
+        assert_eq!(idx.frames_cached(), 1);
+        assert_eq!(idx.frame_of(slot(0, 0)), None);
+    }
+
+    #[test]
+    fn reinsert_slot_with_new_frame_clears_stale() {
+        let mut idx = PhysIndex::new();
+        idx.insert(FrameNum::new(1), slot(0, 0));
+        // Replacement: same slot now holds a different frame.
+        idx.insert(FrameNum::new(9), slot(0, 0));
+        assert!(idx.slots(FrameNum::new(1)).is_empty());
+        assert_eq!(idx.slots(FrameNum::new(9)), vec![slot(0, 0)]);
+        assert_eq!(idx.frame_of(slot(0, 0)), Some(FrameNum::new(9)));
+    }
+
+    #[test]
+    fn remove_with_wrong_frame_is_safe() {
+        let mut idx = PhysIndex::new();
+        idx.insert(FrameNum::new(1), slot(0, 0));
+        idx.remove(FrameNum::new(2), slot(0, 0)); // mismatched: no effect on by_slot
+        assert_eq!(idx.frame_of(slot(0, 0)), Some(FrameNum::new(1)));
+    }
+
+    #[test]
+    fn iter_deterministic_and_clear() {
+        let mut idx = PhysIndex::new();
+        idx.insert(FrameNum::new(5), slot(1, 0));
+        idx.insert(FrameNum::new(3), slot(0, 0));
+        let pairs: Vec<_> = idx.iter().collect();
+        assert_eq!(pairs[0].0, FrameNum::new(3));
+        assert_eq!(pairs[1].0, FrameNum::new(5));
+        idx.clear();
+        assert_eq!(idx.frames_cached(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-processor and machine-level run statistics.
+
+use core::fmt;
+
+use vmp_bus::BusStats;
+use vmp_types::{Nanos, ProcessorId};
+
+/// Counters for one processor over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessorStats {
+    /// Memory references executed (reads + writes + TAS).
+    pub refs: u64,
+    /// Reads (including TAS reads).
+    pub reads: u64,
+    /// Writes (including TAS writes).
+    pub writes: u64,
+    /// Cache read misses (block fetch via read-shared).
+    pub read_misses: u64,
+    /// Cache write misses (block fetch via read-private).
+    pub write_misses: u64,
+    /// Write-permission upgrades (assert-ownership on a shared page).
+    pub upgrades: u64,
+    /// Nested misses taken on page-table (PTE) pages during translation.
+    pub pte_misses: u64,
+    /// Real page faults (demand-zero fills) taken.
+    pub page_faults: u64,
+    /// Victim write-backs performed by the miss handler.
+    pub writebacks: u64,
+    /// Own bus transactions aborted by some monitor (each causes a
+    /// re-trap and retry).
+    pub retries: u64,
+    /// Consistency-interrupt words serviced.
+    pub consistency_interrupts: u64,
+    /// Pages invalidated by consistency service.
+    pub invalidations: u64,
+    /// Pages downgraded private→shared by consistency service.
+    pub downgrades: u64,
+    /// Notifications delivered.
+    pub notifies: u64,
+    /// FIFO-overflow recoveries executed.
+    pub fifo_recoveries: u64,
+    /// Protocol-violation words observed (foreign write-back on a page
+    /// we hold) — should stay zero.
+    pub violations: u64,
+    /// Time spent computing / executing references at full speed.
+    pub useful_time: Nanos,
+    /// Time spent in miss handling, retries and consistency service.
+    pub stall_time: Nanos,
+}
+
+impl ProcessorStats {
+    /// Total cache misses of all kinds (excluding upgrades).
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio over executed references.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.refs as f64
+        }
+    }
+
+    /// Normalized processor performance: useful time over total busy
+    /// time (the machine analogue of Figure 3's y-axis).
+    pub fn performance(&self) -> f64 {
+        let total = self.useful_time + self.stall_time;
+        if total == Nanos::ZERO {
+            1.0
+        } else {
+            self.useful_time.as_ns() as f64 / total.as_ns() as f64
+        }
+    }
+}
+
+impl fmt::Display for ProcessorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refs={} misses={} ({:.3}%) upgrades={} retries={} irqs={} perf={:.1}%",
+            self.refs,
+            self.misses(),
+            100.0 * self.miss_ratio(),
+            self.upgrades,
+            self.retries,
+            self.consistency_interrupts,
+            100.0 * self.performance(),
+        )
+    }
+}
+
+/// The result of a completed machine run.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Simulated time at completion.
+    pub elapsed: Nanos,
+    /// Per-processor counters, indexed by processor.
+    pub processors: Vec<ProcessorStats>,
+    /// Shared-bus statistics.
+    pub bus: BusStats,
+}
+
+impl MachineReport {
+    /// Aggregate references across processors.
+    pub fn total_refs(&self) -> u64 {
+        self.processors.iter().map(|p| p.refs).sum()
+    }
+
+    /// Aggregate misses across processors.
+    pub fn total_misses(&self) -> u64 {
+        self.processors.iter().map(|p| p.misses()).sum()
+    }
+
+    /// Bus utilization over the run.
+    pub fn bus_utilization(&self) -> f64 {
+        self.bus.utilization(self.elapsed)
+    }
+
+    /// Processors that executed at least one reference.
+    pub fn active_processors(&self) -> Vec<ProcessorId> {
+        self.processors
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.refs > 0)
+            .map(|(i, _)| ProcessorId::new(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for MachineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "elapsed {} | bus util {:.1}%", self.elapsed, 100.0 * self.bus_utilization())?;
+        for (i, p) in self.processors.iter().enumerate() {
+            writeln!(f, "  cpu{i}: {p}")?;
+        }
+        write!(f, "  {}", self.bus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = ProcessorStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.performance(), 1.0);
+        s.refs = 1000;
+        s.read_misses = 3;
+        s.write_misses = 2;
+        s.useful_time = Nanos::from_us(90);
+        s.stall_time = Nanos::from_us(10);
+        assert_eq!(s.misses(), 5);
+        assert!((s.miss_ratio() - 0.005).abs() < 1e-12);
+        assert!((s.performance() - 0.9).abs() < 1e-12);
+        assert!(s.to_string().contains("0.500%"));
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut a = ProcessorStats::default();
+        a.refs = 10;
+        a.read_misses = 1;
+        let b = ProcessorStats::default();
+        let report = MachineReport {
+            elapsed: Nanos::from_us(100),
+            processors: vec![a, b],
+            bus: BusStats::default(),
+        };
+        assert_eq!(report.total_refs(), 10);
+        assert_eq!(report.total_misses(), 1);
+        assert_eq!(report.active_processors(), vec![ProcessorId::new(0)]);
+        assert_eq!(report.bus_utilization(), 0.0);
+        assert!(report.to_string().contains("cpu0"));
+    }
+}

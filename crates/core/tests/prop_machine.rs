@@ -1,0 +1,151 @@
+//! Property-based tests of the full machine: against a flat-memory
+//! oracle for single-processor runs, and for invariant preservation and
+//! determinism under random multiprocessor workloads.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use vmp_core::{Machine, MachineConfig, Op, OpResult, Program};
+use vmp_types::{Asid, Nanos, VirtAddr};
+
+/// A program that replays a fixed op list and records every result.
+struct Recording {
+    ops: Vec<Op>,
+    next: usize,
+    log: Rc<RefCell<Vec<OpResult>>>,
+}
+
+impl Program for Recording {
+    fn next_op(&mut self, last: OpResult) -> Op {
+        if self.next > 0 {
+            self.log.borrow_mut().push(last);
+        }
+        let op = self.ops.get(self.next).copied().unwrap_or(Op::Halt);
+        self.next += 1;
+        op
+    }
+}
+
+/// Simple op generator over a small pool of word addresses.
+fn arb_op(pages: u64) -> impl Strategy<Value = Op> {
+    let addr = (0..pages, 0u64..4).prop_map(|(p, w)| VirtAddr::new(0x1000 + p * 0x1000 + w * 4));
+    prop_oneof![
+        addr.clone().prop_map(Op::Read),
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Write(a, v)),
+        addr.prop_map(Op::Tas),
+        (1u64..2000).prop_map(|ns| Op::Compute(Nanos::from_ns(ns))),
+    ]
+}
+
+fn quiet_config(processors: usize) -> MachineConfig {
+    let mut config = MachineConfig::small();
+    config.processors = processors;
+    config.validate_each_step = false; // validated at the end (speed)
+    config.cpu.page_fault = Nanos::ZERO;
+    config.max_time = Nanos::from_ms(60_000);
+    config
+}
+
+/// The sequential oracle: flat word-addressed memory.
+fn oracle(ops: &[Op]) -> Vec<OpResult> {
+    let mut memory: HashMap<u64, u32> = HashMap::new();
+    let mut results = Vec::new();
+    for op in ops {
+        results.push(match *op {
+            Op::Read(a) => OpResult::Read(*memory.get(&a.raw()).unwrap_or(&0)),
+            Op::Write(a, v) => {
+                memory.insert(a.raw(), v);
+                OpResult::None
+            }
+            Op::Tas(a) => {
+                let old = *memory.get(&a.raw()).unwrap_or(&0);
+                memory.insert(a.raw(), 1);
+                OpResult::Tas(old)
+            }
+            _ => OpResult::None,
+        });
+    }
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single processor through the full cache/miss/protocol machinery
+    /// must be observationally identical to flat memory.
+    #[test]
+    fn single_cpu_matches_flat_memory(ops in proptest::collection::vec(arb_op(4), 1..60)) {
+        let mut full_ops = ops.clone();
+        full_ops.push(Op::Halt);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut m = Machine::build(quiet_config(1)).unwrap();
+        m.set_program(0, Recording { ops: full_ops, next: 0, log: Rc::clone(&log) }).unwrap();
+        m.run().unwrap();
+        m.validate().unwrap();
+        let got = log.borrow();
+        let want = oracle(&ops);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(g, w, "machine diverged from flat-memory oracle");
+        }
+    }
+
+    /// Random two-processor interleavings preserve the protocol
+    /// invariants and the final memory state is deterministic.
+    #[test]
+    fn two_cpus_invariants_and_determinism(
+        ops0 in proptest::collection::vec(arb_op(3), 1..40),
+        ops1 in proptest::collection::vec(arb_op(3), 1..40),
+    ) {
+        let run = || {
+            let mut m = Machine::build(quiet_config(2)).unwrap();
+            let mut a = ops0.clone();
+            a.push(Op::Halt);
+            let mut b = ops1.clone();
+            b.push(Op::Halt);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            m.set_program(0, Recording { ops: a, next: 0, log: Rc::clone(&log) }).unwrap();
+            let log1 = Rc::new(RefCell::new(Vec::new()));
+            m.set_program(1, Recording { ops: b, next: 0, log: log1 }).unwrap();
+            let report = m.run().unwrap();
+            m.validate().unwrap();
+            // Snapshot the coherent value of every touched word.
+            let mut snapshot = Vec::new();
+            for p in 0..3u64 {
+                for w in 0..4u64 {
+                    let va = VirtAddr::new(0x1000 + p * 0x1000 + w * 4);
+                    snapshot.push(m.peek_word(Asid::new(1), va));
+                }
+            }
+            let observed = log.borrow().clone();
+            (report.elapsed, snapshot, observed)
+        };
+        let (t1, s1, l1) = run();
+        let (t2, s2, l2) = run();
+        prop_assert_eq!(t1, t2, "elapsed time must be deterministic");
+        prop_assert_eq!(s1, s2, "final memory must be deterministic");
+        prop_assert_eq!(l1, l2, "observed values must be deterministic");
+    }
+
+    /// Statistics bookkeeping balances for arbitrary workloads.
+    #[test]
+    fn stats_balance(ops in proptest::collection::vec(arb_op(4), 1..50)) {
+        let refs_expected = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Read(_) | Op::Write(..) | Op::Tas(_)))
+            .count() as u64;
+        let mut full_ops = ops;
+        full_ops.push(Op::Halt);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut m = Machine::build(quiet_config(1)).unwrap();
+        m.set_program(0, Recording { ops: full_ops, next: 0, log }).unwrap();
+        let report = m.run().unwrap();
+        let s = &report.processors[0];
+        prop_assert_eq!(s.refs, refs_expected);
+        prop_assert!(s.misses() <= s.refs);
+        prop_assert_eq!(s.violations, 0);
+        prop_assert_eq!(s.retries, 0, "a lone CPU is never aborted");
+    }
+}

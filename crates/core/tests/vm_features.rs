@@ -1,0 +1,163 @@
+//! Virtual-memory and §5.4 software features on the full machine:
+//! page-out daemon with swap-backed reclaim, the non-shared (private)
+//! hint, and bus-monitor mailboxes.
+
+use vmp_core::workloads::{MessageReceiver, MessageSender};
+use vmp_core::{Machine, MachineConfig, Op, ScriptProgram};
+use vmp_types::{Asid, Nanos, VirtAddr};
+
+fn machine(processors: usize) -> Machine {
+    let mut config = MachineConfig::small();
+    config.processors = processors;
+    Machine::build(config).unwrap()
+}
+
+#[test]
+fn pageout_daemon_reclaims_and_restores() {
+    let mut m = machine(1);
+    let asid = Asid::new(1);
+    let pages: Vec<VirtAddr> = (0..3).map(|i| VirtAddr::new(0x2000 + i * 0x1000)).collect();
+    // Write distinct values to three pages.
+    let ops: Vec<Op> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, &va)| Op::Write(va, 100 + i as u32))
+        .chain([Op::Halt])
+        .collect();
+    m.set_program(0, ScriptProgram::new(ops)).unwrap();
+    m.run().unwrap();
+
+    // Pass 1: every page was referenced; bits cleared, caches flushed.
+    let referenced = m.sweep_reference_bits(0, asid).unwrap();
+    assert_eq!(referenced, 3);
+    m.validate().unwrap();
+
+    // Touch only page 0 again: it misses (flushed) and re-sets its bit.
+    m.set_program(0, ScriptProgram::new([Op::Read(pages[0]), Op::Halt])).unwrap();
+    m.run().unwrap();
+
+    // Pass 2: pages 1 and 2 are unreferenced → reclaimed to swap.
+    let free_before = m.kernel().free_frames();
+    let reclaimed = m.reclaim_unreferenced(0, asid).unwrap();
+    assert_eq!(reclaimed.len(), 2, "exactly the untouched pages");
+    assert!(m.kernel().free_frames() > free_before);
+    assert!(m.frame_of(asid, pages[1]).is_none(), "mapping gone");
+    m.validate().unwrap();
+
+    // Re-touching a reclaimed page takes a real page fault and restores
+    // the saved contents from the backing store.
+    m.set_program(0, ScriptProgram::new([Op::Read(pages[1]), Op::Halt])).unwrap();
+    let faults_before = m.cpu_stats(0).page_faults;
+    m.run().unwrap();
+    assert!(m.cpu_stats(0).page_faults > faults_before);
+    assert_eq!(m.peek_word(asid, pages[1]), Some(101), "contents restored from swap");
+    m.validate().unwrap();
+}
+
+#[test]
+fn sweep_then_retouch_resets_reference_bit() {
+    let mut m = machine(1);
+    let asid = Asid::new(1);
+    let va = VirtAddr::new(0x3000);
+    m.set_program(0, ScriptProgram::new([Op::Write(va, 1), Op::Halt])).unwrap();
+    m.run().unwrap();
+    assert_eq!(m.sweep_reference_bits(0, asid).unwrap(), 1);
+    // Second sweep without touching: nothing referenced.
+    assert_eq!(m.sweep_reference_bits(0, asid).unwrap(), 0);
+    // Touch, then sweep again: referenced.
+    m.set_program(0, ScriptProgram::new([Op::Read(va), Op::Halt])).unwrap();
+    m.run().unwrap();
+    assert_eq!(m.sweep_reference_bits(0, asid).unwrap(), 1);
+}
+
+#[test]
+fn private_hint_skips_upgrade() {
+    // Without the hint: read miss (shared) then write → assert-ownership
+    // upgrade. With it: read miss fetches private, write is free.
+    let run = |hint: bool| {
+        let mut m = machine(1);
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x4000);
+        m.map_shared(&[(asid, va)]).unwrap();
+        if hint {
+            m.set_private_hint(asid, va, true).unwrap();
+        }
+        m.set_program(0, ScriptProgram::new([Op::Read(va), Op::Write(va, 5), Op::Halt]))
+            .unwrap();
+        m.run().unwrap();
+        m.validate().unwrap();
+        m.cpu_stats(0).upgrades
+    };
+    assert_eq!(run(false), 1, "unhinted write pays an upgrade");
+    assert_eq!(run(true), 0, "hinted read already fetched private");
+}
+
+#[test]
+fn private_hint_requires_mapping() {
+    let mut m = machine(1);
+    assert!(m.set_private_hint(Asid::new(1), VirtAddr::new(0x9000), true).is_err());
+}
+
+#[test]
+fn mailbox_messages_flow_via_notification() {
+    let mut m = machine(2);
+    let mailbox = VirtAddr::new(0x5000);
+    let ack = VirtAddr::new(0x6000);
+    let messages = vec![11, 22, 33];
+    // Generous gaps so each message is consumed before the next lands
+    // (the mailbox is a single word, as in the paper's sketch).
+    m.set_program(0, MessageSender::new(mailbox, messages.clone(), Nanos::from_ms(2)))
+        .unwrap();
+    m.set_program(1, MessageReceiver::new(mailbox, ack, messages.len())).unwrap();
+    let report = m.run().unwrap();
+    assert_eq!(m.peek_word(Asid::new(1), ack), Some(33), "last message acknowledged");
+    assert!(
+        report.processors[1].notifies >= 1,
+        "receiver must be woken by notify at least once"
+    );
+    m.validate().unwrap();
+}
+
+#[test]
+fn reclaimed_swap_dropped_with_address_space() {
+    let mut m = machine(1);
+    let asid = Asid::new(1);
+    let va = VirtAddr::new(0x2000);
+    m.set_program(0, ScriptProgram::new([Op::Write(va, 9), Op::Halt])).unwrap();
+    m.run().unwrap();
+    m.sweep_reference_bits(0, asid).unwrap();
+    m.reclaim_unreferenced(0, asid).unwrap();
+    m.delete_address_space(0, asid).unwrap();
+    // Recreating the space and touching the page demand-zeroes: the old
+    // swap contents must not leak into the new space.
+    m.set_program(0, ScriptProgram::new([Op::Read(va), Op::Halt])).unwrap();
+    m.run().unwrap();
+    assert_eq!(m.peek_word(asid, va), Some(0));
+    m.validate().unwrap();
+}
+
+#[test]
+fn barrier_synchronizes_three_workers() {
+    use vmp_core::workloads::BarrierWorker;
+    let mut m = machine(3);
+    let lock = VirtAddr::new(0x1000);
+    let counter = VirtAddr::new(0x2000);
+    let barrier = VirtAddr::new(0x3000);
+    let rounds = 5;
+    for cpu in 0..3 {
+        m.set_program(
+            cpu,
+            BarrierWorker::new(3, rounds, lock, counter, barrier, Nanos::from_us(cpu as u64 * 7)),
+        )
+        .unwrap();
+    }
+    let report = m.run().unwrap();
+    // Every round completed exactly once: the generation word counts them.
+    assert_eq!(m.peek_word(Asid::new(1), barrier), Some(rounds as u32));
+    // The arrival counter is back at zero.
+    assert_eq!(m.peek_word(Asid::new(1), counter), Some(0));
+    // One notify broadcast per round woke the (up to two) watchers.
+    let notifies: u64 = report.processors.iter().map(|p| p.notifies).sum();
+    assert!(notifies >= 1, "barrier releases must use notification");
+    m.validate().unwrap();
+}

@@ -1,0 +1,142 @@
+//! Per-processor local memory.
+
+use vmp_types::Nanos;
+
+/// The 32 KB of private, zero-wait-state RAM on each VMP processor board.
+///
+/// Local memory holds the cache-miss handler's code, the supervisor stack
+/// for exception frames, and the cache-management data structures, so
+/// that handling a miss can never itself miss (paper §2). In the
+/// simulator the handler's *data structures* are ordinary Rust values
+/// owned by the machine model; this type models the resource itself —
+/// its capacity, its zero-wait access timing, and a byte store for
+/// programs that want scratch space (e.g. DMA descriptors in tests).
+///
+/// # Examples
+///
+/// ```
+/// use vmp_mem::LocalMemory;
+///
+/// let mut local = LocalMemory::new(32 * 1024);
+/// local.write_u32(0x100, 42);
+/// assert_eq!(local.read_u32(0x100), 42);
+/// assert_eq!(local.access_time().as_ns(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalMemory {
+    data: Vec<u8>,
+}
+
+impl LocalMemory {
+    /// Creates zeroed local memory of the given size.
+    pub fn new(bytes: usize) -> Self {
+        LocalMemory { data: vec![0; bytes] }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for a zero-capacity local memory.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Access latency: local memory is synchronous with the CPU, so no
+    /// extra wait states are modelled (the CPU's own cycle time covers it).
+    pub fn access_time(&self) -> Nanos {
+        Nanos::ZERO
+    }
+
+    /// Reads a little-endian `u32` at a byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of range.
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        assert_eq!(offset % 4, 0, "unaligned local read");
+        let b = &self.data[offset..offset + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes a little-endian `u32` at a byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of range.
+    pub fn write_u32(&mut self, offset: usize, value: u32) {
+        assert_eq!(offset % 4, 0, "unaligned local write");
+        self.data[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads a byte range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data[offset..offset + len]
+    }
+
+    /// Writes a byte range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_bytes(&mut self, offset: usize, bytes: &[u8]) {
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+impl Default for LocalMemory {
+    /// The prototype's 32 KB board configuration.
+    fn default() -> Self {
+        LocalMemory::new(32 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_32k() {
+        let l = LocalMemory::default();
+        assert_eq!(l.len(), 32 * 1024);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut l = LocalMemory::new(64);
+        l.write_u32(8, 0xcafe_f00d);
+        assert_eq!(l.read_u32(8), 0xcafe_f00d);
+        assert_eq!(l.read_u32(12), 0);
+    }
+
+    #[test]
+    fn byte_ranges() {
+        let mut l = LocalMemory::new(16);
+        l.write_bytes(2, &[1, 2, 3]);
+        assert_eq!(l.read_bytes(1, 5), &[0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn zero_wait_state() {
+        assert_eq!(LocalMemory::new(4).access_time(), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn rejects_unaligned() {
+        LocalMemory::new(16).read_u32(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_bounds() {
+        let mut l = LocalMemory::new(8);
+        l.write_bytes(6, &[0; 4]);
+    }
+}

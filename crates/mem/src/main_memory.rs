@@ -1,0 +1,205 @@
+//! The shared main memory: an array of cache-page frames.
+
+use vmp_types::{FrameNum, Nanos, PageSize, PhysAddr};
+
+use crate::MemTimings;
+
+/// Byte-accurate shared main memory, viewed as a sequence of *cache page
+/// frames* (paper §3.1): frame `k` holds bytes
+/// `k·page_size .. (k+1)·page_size`.
+///
+/// Main memory is only modified by `write-back` bus transactions and DMA
+/// writes, which is what makes the bus monitor's abort-after-a-few-words
+/// behaviour safe (paper §3.2); the simulator preserves that property by
+/// funnelling all mutation through [`MainMemory::write`].
+///
+/// # Examples
+///
+/// ```
+/// use vmp_mem::MainMemory;
+/// use vmp_types::{FrameNum, PageSize, PhysAddr};
+///
+/// let mut mem = MainMemory::new(PageSize::S128, 1024);
+/// assert_eq!(mem.frames(), 8);
+/// mem.write_u32(PhysAddr::new(0x84), 0xdeadbeef);
+/// assert_eq!(mem.read_u32(PhysAddr::new(0x84)), 0xdeadbeef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    page_size: PageSize,
+    data: Vec<u8>,
+    timings: MemTimings,
+}
+
+impl MainMemory {
+    /// Creates zeroed memory of `total_bytes`, rounded up to whole frames.
+    pub fn new(page_size: PageSize, total_bytes: u64) -> Self {
+        let frames = page_size.frames_in(total_bytes);
+        let data = vec![0u8; (frames * page_size.bytes()) as usize];
+        MainMemory { page_size, data, timings: MemTimings::default() }
+    }
+
+    /// Creates memory with explicit transfer timings.
+    pub fn with_timings(page_size: PageSize, total_bytes: u64, timings: MemTimings) -> Self {
+        let mut m = MainMemory::new(page_size, total_bytes);
+        m.timings = timings;
+        m
+    }
+
+    /// The frame size (= cache page size).
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Number of frames.
+    pub fn frames(&self) -> u64 {
+        self.data.len() as u64 / self.page_size.bytes()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// The transfer timing model.
+    pub fn timings(&self) -> &MemTimings {
+        &self.timings
+    }
+
+    /// Time for a one-page block transfer to or from this memory.
+    pub fn page_transfer_time(&self) -> Nanos {
+        self.timings.page_transfer(self.page_size)
+    }
+
+    fn frame_range(&self, frame: FrameNum, offset: usize, len: usize) -> std::ops::Range<usize> {
+        let page = self.page_size.bytes() as usize;
+        assert!(frame.raw() < self.frames(), "frame {frame} out of range");
+        assert!(offset + len <= page, "access crosses frame boundary");
+        let base = frame.index() * page;
+        base + offset..base + offset + len
+    }
+
+    /// Reads `len` bytes at `offset` within a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is out of range or the access crosses the
+    /// frame boundary.
+    pub fn read(&self, frame: FrameNum, offset: usize, len: usize) -> &[u8] {
+        &self.data[self.frame_range(frame, offset, len)]
+    }
+
+    /// Returns a copy of one whole frame (the unit a block transfer moves).
+    pub fn read_frame(&self, frame: FrameNum) -> Vec<u8> {
+        self.read(frame, 0, self.page_size.bytes() as usize).to_vec()
+    }
+
+    /// Writes bytes at `offset` within a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is out of range or the access crosses the
+    /// frame boundary.
+    pub fn write(&mut self, frame: FrameNum, offset: usize, bytes: &[u8]) {
+        let r = self.frame_range(frame, offset, bytes.len());
+        self.data[r].copy_from_slice(bytes);
+    }
+
+    /// Replaces one whole frame (a write-back block transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is exactly one frame long.
+    pub fn write_frame(&mut self, frame: FrameNum, bytes: &[u8]) {
+        assert_eq!(bytes.len() as u64, self.page_size.bytes(), "write_frame needs a full frame");
+        self.write(frame, 0, bytes);
+    }
+
+    /// Reads a little-endian `u32` at a physical address (word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unaligned or out of range.
+    pub fn read_u32(&self, pa: PhysAddr) -> u32 {
+        assert_eq!(pa.raw() % 4, 0, "unaligned word read at {pa}");
+        let frame = self.page_size.frame_of(pa);
+        let offset = self.page_size.offset_of(pa.raw()) as usize;
+        let b = self.read(frame, offset, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes a little-endian `u32` at a physical address (word-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is unaligned or out of range.
+    pub fn write_u32(&mut self, pa: PhysAddr, value: u32) {
+        assert_eq!(pa.raw() % 4, 0, "unaligned word write at {pa}");
+        let frame = self.page_size.frame_of(pa);
+        let offset = self.page_size.offset_of(pa.raw()) as usize;
+        self.write(frame, offset, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up_to_whole_frames() {
+        let m = MainMemory::new(PageSize::S256, 1000);
+        assert_eq!(m.frames(), 4);
+        assert_eq!(m.total_bytes(), 1024);
+    }
+
+    #[test]
+    fn frame_read_write_roundtrip() {
+        let mut m = MainMemory::new(PageSize::S128, 1024);
+        let page: Vec<u8> = (0..128).map(|i| i as u8).collect();
+        m.write_frame(FrameNum::new(3), &page);
+        assert_eq!(m.read_frame(FrameNum::new(3)), page);
+        assert_eq!(m.read_frame(FrameNum::new(2)), vec![0u8; 128]);
+    }
+
+    #[test]
+    fn word_access_little_endian() {
+        let mut m = MainMemory::new(PageSize::S128, 1024);
+        m.write_u32(PhysAddr::new(0x80), 0x0102_0304);
+        assert_eq!(m.read(FrameNum::new(1), 0, 4), &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(m.read_u32(PhysAddr::new(0x80)), 0x0102_0304);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_frame() {
+        let m = MainMemory::new(PageSize::S128, 256);
+        let _ = m.read(FrameNum::new(2), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses frame boundary")]
+    fn rejects_cross_frame_access() {
+        let mut m = MainMemory::new(PageSize::S128, 256);
+        m.write(FrameNum::new(0), 126, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn rejects_unaligned_word() {
+        let m = MainMemory::new(PageSize::S128, 256);
+        let _ = m.read_u32(PhysAddr::new(2));
+    }
+
+    #[test]
+    fn transfer_time_uses_timings() {
+        let m = MainMemory::new(PageSize::S256, 1024);
+        assert_eq!(m.page_transfer_time().as_micros_f64(), 6.6);
+        let fast =
+            MainMemory::with_timings(PageSize::S256, 1024, MemTimings {
+                first_word: Nanos::from_ns(100),
+                next_word: Nanos::from_ns(50),
+            });
+        assert_eq!(fast.page_transfer_time().as_ns(), 100 + 63 * 50);
+        assert_eq!(fast.timings().next_word, Nanos::from_ns(50));
+    }
+}

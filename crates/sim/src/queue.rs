@@ -1,0 +1,179 @@
+//! Time-ordered, insertion-stable event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use vmp_types::Nanos;
+
+/// A deterministic future-event list.
+///
+/// Events are delivered in nondecreasing time order; events scheduled for
+/// the *same* time are delivered in the order they were scheduled (FIFO).
+/// That stability is what makes whole-machine simulations reproducible:
+/// a `BinaryHeap` alone would break ties arbitrarily.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_sim::EventQueue;
+/// use vmp_types::Nanos;
+///
+/// let mut q: EventQueue<u32> = EventQueue::new();
+/// assert!(q.is_empty());
+/// q.schedule(Nanos::from_ns(5), 1);
+/// q.schedule_after(Nanos::from_ns(5), Nanos::from_ns(0), 2);
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.peek_time(), Some(Nanos::from_ns(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    key: Reverse<(Nanos, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute simulated time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { key: Reverse((at, seq)), event });
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_after(&mut self, now: Nanos, delay: Nanos, event: E) {
+        self.schedule(now + delay, event);
+    }
+
+    /// Removes and returns the earliest event with its timestamp.
+    ///
+    /// Among events with equal timestamps, the earliest-scheduled one is
+    /// returned first.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| {
+            let Reverse((t, _)) = e.key;
+            (t, e.event)
+        })
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| {
+            let Reverse((t, _)) = e.key;
+            t
+        })
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_ns(30), 'c');
+        q.schedule(Nanos::from_ns(10), 'a');
+        q.schedule(Nanos::from_ns(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos::from_ns(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_and_times() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_ns(5), "t5-first");
+        q.schedule(Nanos::from_ns(3), "t3");
+        q.schedule(Nanos::from_ns(5), "t5-second");
+        assert_eq!(q.pop().unwrap().1, "t3");
+        assert_eq!(q.pop().unwrap().1, "t5-first");
+        assert_eq!(q.pop().unwrap().1, "t5-second");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_after_adds_delay() {
+        let mut q = EventQueue::new();
+        q.schedule_after(Nanos::from_ns(100), Nanos::from_ns(50), ());
+        assert_eq!(q.peek_time(), Some(Nanos::from_ns(150)));
+    }
+
+    #[test]
+    fn len_clear_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos::ZERO, 0);
+        q.schedule(Nanos::ZERO, 1);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_returns_timestamp() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_us(2), 9u8);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Nanos::from_us(2));
+        assert_eq!(e, 9);
+    }
+}

@@ -1,0 +1,283 @@
+//! Statistics utilities for simulation runs.
+
+use std::fmt;
+
+use vmp_types::Nanos;
+
+/// Tracks the total time a single-server resource (the VMEbus, a block
+/// copier) spends busy, for utilization reports.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_sim::BusyTracker;
+/// use vmp_types::Nanos;
+///
+/// let mut bus = BusyTracker::new();
+/// bus.add_busy(Nanos::from_ns(300));
+/// bus.add_busy(Nanos::from_ns(700));
+/// assert_eq!(bus.busy(), Nanos::from_us(1));
+/// assert!((bus.utilization(Nanos::from_us(10)) - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusyTracker {
+    busy: Nanos,
+    intervals: u64,
+}
+
+impl BusyTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one busy interval of the given length.
+    pub fn add_busy(&mut self, duration: Nanos) {
+        self.busy += duration;
+        self.intervals += 1;
+    }
+
+    /// Total accumulated busy time.
+    pub fn busy(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Number of busy intervals recorded.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// Fraction of `elapsed` the resource was busy (0 when `elapsed` is 0).
+    pub fn utilization(&self, elapsed: Nanos) -> f64 {
+        if elapsed == Nanos::ZERO {
+            0.0
+        } else {
+            self.busy.as_ns() as f64 / elapsed.as_ns() as f64
+        }
+    }
+}
+
+/// A fixed-bucket histogram of nanosecond durations (e.g. miss latencies,
+/// bus-acquisition waits).
+///
+/// Buckets are linear with a configurable width; values beyond the last
+/// bucket land in an overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: Nanos,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: Nanos,
+    max: Nanos,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` linear buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    pub fn new(bucket_width: Nanos, buckets: usize) -> Self {
+        assert!(bucket_width > Nanos::ZERO, "bucket width must be non-zero");
+        assert!(buckets > 0, "bucket count must be non-zero");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum: Nanos::ZERO,
+            max: Nanos::ZERO,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: Nanos) {
+        let idx = (value.as_ns() / self.bucket_width.as_ns()) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (zero when empty).
+    pub fn mean(&self) -> Nanos {
+        if self.total == 0 {
+            Nanos::ZERO
+        } else {
+            self.sum / self.total
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// Samples that exceeded the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate p-th percentile (0.0–1.0) from bucket boundaries.
+    ///
+    /// Returns the upper edge of the bucket containing the percentile, or
+    /// the maximum for samples in the overflow bucket. Returns zero when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        if self.total == 0 {
+            return Nanos::ZERO;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_width * (i as u64 + 1);
+            }
+        }
+        self.max
+    }
+}
+
+/// Online mean/variance estimator for dimensionless rates and ratios
+/// (miss ratios, speedups), using Welford's algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RateEstimator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RateEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        RateEstimator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Returns a snapshot of the accumulated statistics.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: if self.n == 0 { 0.0 } else { self.mean },
+            stddev: if self.n < 2 { 0.0 } else { (self.m2 / (self.n - 1) as f64).sqrt() },
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Snapshot of a [`RateEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub stddev: f64,
+    /// Minimum observation (0 when empty).
+    pub min: f64,
+    /// Maximum observation (0 when empty).
+    pub max: f64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n, self.mean, self.stddev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_tracker_accumulates() {
+        let mut t = BusyTracker::new();
+        assert_eq!(t.utilization(Nanos::from_us(1)), 0.0);
+        t.add_busy(Nanos::from_ns(250));
+        t.add_busy(Nanos::from_ns(250));
+        assert_eq!(t.busy(), Nanos::from_ns(500));
+        assert_eq!(t.intervals(), 2);
+        assert!((t.utilization(Nanos::from_us(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(t.utilization(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new(Nanos::from_ns(10), 10);
+        for ns in [5, 15, 15, 95, 250] {
+            h.record(Nanos::from_ns(ns));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.overflow(), 1); // 250 is past 10 buckets of 10 ns
+        assert_eq!(h.max(), Nanos::from_ns(250));
+        assert_eq!(h.mean(), Nanos::from_ns((5 + 15 + 15 + 95 + 250) / 5));
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(Nanos::from_ns(10), 100);
+        for i in 1..=100 {
+            h.record(Nanos::from_ns(i * 10 - 5)); // buckets 0..100
+        }
+        assert_eq!(h.percentile(0.5), Nanos::from_ns(500));
+        assert_eq!(h.percentile(1.0), Nanos::from_ns(1000));
+        assert_eq!(Histogram::new(Nanos::from_ns(1), 1).percentile(0.5), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_rejects_zero_width() {
+        let _ = Histogram::new(Nanos::ZERO, 4);
+    }
+
+    #[test]
+    fn rate_estimator_welford() {
+        let mut r = RateEstimator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.record(x);
+        }
+        let s = r.summary();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = RateEstimator::new().summary();
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.stddev, 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

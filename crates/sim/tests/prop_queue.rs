@@ -1,0 +1,65 @@
+//! Property-based tests of the event queue: total order, stability, and
+//! equivalence with a sort-based model.
+
+use proptest::prelude::*;
+use vmp_sim::EventQueue;
+use vmp_types::Nanos;
+
+proptest! {
+    /// Popping returns events in nondecreasing time order with FIFO
+    /// tie-breaking — exactly a stable sort by time.
+    #[test]
+    fn matches_stable_sort(times in proptest::collection::vec(0u64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_ns(t), i);
+        }
+        let mut model: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        model.sort_by_key(|&(t, _)| t); // stable: preserves insertion order per time
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_ns(), e))).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    /// Interleaved schedule/pop never yields an event earlier than one
+    /// already delivered.
+    #[test]
+    fn monotone_delivery_under_interleaving(
+        script in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut last_popped: Option<u64> = None;
+        let mut floor = 0u64; // schedule at max(t, last_popped) to stay causal
+        for (i, &(push, t)) in script.iter().enumerate() {
+            if push {
+                let at = t.max(floor);
+                q.schedule(Nanos::from_ns(at), i);
+            } else if let Some((t, _)) = q.pop() {
+                let t = t.as_ns();
+                if let Some(prev) = last_popped {
+                    prop_assert!(t >= prev, "delivery went backwards: {prev} then {t}");
+                }
+                last_popped = Some(t);
+                floor = t;
+            }
+        }
+    }
+
+    /// len/is_empty bookkeeping is exact.
+    #[test]
+    fn length_bookkeeping(n in 0usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(Nanos::from_ns(i as u64), i);
+        }
+        prop_assert_eq!(q.len(), n);
+        prop_assert_eq!(q.is_empty(), n == 0);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, n);
+        prop_assert!(q.is_empty());
+    }
+}

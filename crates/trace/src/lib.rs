@@ -1,0 +1,39 @@
+//! Memory-reference traces for driving the VMP cache and machine simulators.
+//!
+//! The paper establishes its cache parameters (Figure 4) with four VAX 8200
+//! address traces captured by the ATUM microcode technique: 358k–540k
+//! four-byte references each, including VMS operating-system activity
+//! (≈25 % of references, ≈50 % of misses) and a small degree of
+//! multiprogramming (§5.2). Those traces are DEC-proprietary and
+//! unavailable, so this crate provides:
+//!
+//! * [`MemRef`] / [`Trace`] — the reference record and an owned trace with
+//!   iteration, statistics and (de)serialization;
+//! * [`synth`] — seeded synthetic workload generators, culminating in
+//!   [`synth::AtumWorkload`], a multiprogrammed user+OS reference stream
+//!   calibrated to the locality properties the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmp_trace::synth::{AtumParams, AtumWorkload};
+//!
+//! let trace: Vec<_> = AtumWorkload::new(AtumParams::default(), 42)
+//!     .take(10_000)
+//!     .collect();
+//! assert_eq!(trace.len(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod io;
+mod record;
+mod stats;
+pub mod synth;
+
+pub use analysis::{reuse_distances, working_set_sizes, ReuseHistogram};
+pub use io::{read_binary, read_text, write_binary, write_text, TraceIoError};
+pub use record::{MemRef, Trace};
+pub use stats::TraceStats;

@@ -1,0 +1,32 @@
+//! Seeded synthetic reference-stream generators.
+//!
+//! The VAX 8200 ATUM traces the paper uses for Figure 4 are unavailable,
+//! so this module reconstructs a reference stream with the same *locality
+//! structure*, which is all Figure 4's shape depends on:
+//!
+//! * instruction fetches follow sequential runs broken by mostly-backward
+//!   branches ([`SequentialWalker`]), concentrated on hot functions by a
+//!   Zipf distribution ([`Zipf`]);
+//! * data references follow an LRU-stack/working-set model over heap
+//!   objects ([`WorkingSet`]), hot global pages and a small stack window;
+//! * operating-system activity arrives in bursts with a larger, flatter
+//!   footprint — calibrated so OS references are ≈25 % of references but
+//!   ≈50 % of misses, as the paper reports (§5.2);
+//! * several processes are multiprogrammed across distinct ASIDs with
+//!   periodic context switches ([`AtumWorkload`]).
+//!
+//! All generators take an explicit seed and are fully deterministic.
+
+mod atum;
+mod process;
+mod records;
+mod walker;
+mod working_set;
+mod zipf;
+
+pub use atum::{AtumParams, AtumWorkload};
+pub use process::{ProcessGen, ProcessParams};
+pub use records::{Layout, RecordTraversal};
+pub use walker::{SequentialWalker, WalkerParams};
+pub use working_set::{WorkingSet, WorkingSetParams};
+pub use zipf::{DriftingZipf, Zipf};

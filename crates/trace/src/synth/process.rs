@@ -1,0 +1,280 @@
+//! Single-process reference generator: interleaved code and data streams.
+
+use rand::{Rng, RngExt};
+
+use vmp_types::{AccessKind, Asid, Privilege, VirtAddr};
+
+use super::{DriftingZipf, SequentialWalker, WalkerParams, WorkingSet, WorkingSetParams};
+use crate::MemRef;
+
+/// Parameters for a [`ProcessGen`].
+#[derive(Debug, Clone)]
+pub struct ProcessParams {
+    /// Instruction-fetch stream parameters.
+    pub code: WalkerParams,
+    /// Heap data-stream parameters.
+    pub heap: WorkingSetParams,
+    /// Base address of the hot-globals region.
+    pub globals_base: u64,
+    /// Size of the hot-globals region in bytes (256-byte pages).
+    pub globals_bytes: u64,
+    /// Zipf skew over global pages inside the hot window.
+    pub globals_zipf_s: f64,
+    /// Hot-window size in global pages.
+    pub globals_window: usize,
+    /// Global-page picks per one-page drift of the hot window.
+    pub globals_advance_every: u32,
+    /// Base address of the stack window.
+    pub stack_base: u64,
+    /// Size of the stack window in bytes.
+    pub stack_bytes: u64,
+    /// Mean data references per instruction fetch.
+    pub data_per_ifetch: f64,
+    /// Probability a global/stack data reference is a write.
+    pub data_write_prob: f64,
+    /// Mixture weights for (stack, globals, heap) data sources.
+    pub data_mix: [f64; 3],
+}
+
+impl ProcessParams {
+    /// The default user-process parameter set used by the ATUM-like
+    /// workload: ≈76 KB of per-process footprint entered through slowly
+    /// drifting phase windows.
+    pub fn user() -> Self {
+        ProcessParams {
+            code: WalkerParams::default(),
+            heap: WorkingSetParams::default(),
+            globals_base: 0x0800_0000,
+            globals_bytes: 8 * 1024,
+            globals_zipf_s: 0.8,
+            globals_window: 16,
+            globals_advance_every: 1500,
+            stack_base: 0x7fff_0000,
+            stack_bytes: 4 * 1024,
+            data_per_ifetch: 0.8,
+            data_write_prob: 0.25,
+            data_mix: [0.35, 0.25, 0.40],
+        }
+    }
+
+    /// The default operating-system parameter set: a larger, flatter
+    /// footprint in the kernel region, tuned so OS activity produces a
+    /// disproportionate share of misses (paper §5.2: 25 % of references,
+    /// 50 % of misses).
+    pub fn os() -> Self {
+        ProcessParams {
+            code: WalkerParams {
+                region_base: 0xf000_0000,
+                region_bytes: 64 * 1024,
+                branch_prob: 0.2,
+                loop_prob: 0.75,
+                function_zipf_s: 0.6,
+                hot_functions: 32,
+                function_advance_every: 7,
+                ..WalkerParams::default()
+            },
+            heap: WorkingSetParams {
+                region_base: 0xf800_0000,
+                object_bytes: 128,
+                objects: 384, // 48 KB of kernel tables/buffers
+                zipf_s: 0.6,
+                hot_window: 64, // 8 KB hot
+                advance_every: 8,
+                mean_burst: 6.0,
+                write_prob: 0.35,
+                writable_cluster: 16,
+                writable_cluster_period: 3,
+            },
+            globals_base: 0xfc00_0000,
+            globals_bytes: 16 * 1024,
+            globals_zipf_s: 0.6,
+            globals_window: 16,
+            globals_advance_every: 200,
+            stack_base: 0xfe00_0000,
+            stack_bytes: 4 * 1024,
+            data_per_ifetch: 1.0,
+            data_write_prob: 0.2,
+            data_mix: [0.2, 0.3, 0.5],
+        }
+    }
+}
+
+/// Generates the reference stream of one process (or of the kernel).
+///
+/// Each "instruction" emits one instruction fetch and, with probability
+/// `data_per_ifetch`, one data reference drawn from a stack/globals/heap
+/// mixture.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use vmp_trace::synth::{ProcessGen, ProcessParams};
+/// use vmp_types::Asid;
+///
+/// let mut p = ProcessGen::new(ProcessParams::user(), Asid::new(1), false);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let r = p.next_ref(&mut rng);
+/// assert_eq!(r.asid, Asid::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessGen {
+    params: ProcessParams,
+    asid: Asid,
+    supervisor: bool,
+    code: SequentialWalker,
+    heap: WorkingSet,
+    globals: DriftingZipf,
+    stack_ptr: u64,
+    pending_data: Option<MemRef>,
+}
+
+impl ProcessGen {
+    /// Creates a process generator.
+    ///
+    /// `supervisor` marks every emitted reference supervisor-mode (used
+    /// for the kernel generator).
+    pub fn new(params: ProcessParams, asid: Asid, supervisor: bool) -> Self {
+        let code = SequentialWalker::new(params.code.clone());
+        let heap = WorkingSet::new(params.heap.clone());
+        let globals = DriftingZipf::new(
+            (params.globals_bytes / 256).max(1) as usize,
+            params.globals_window,
+            params.globals_zipf_s,
+            params.globals_advance_every,
+        );
+        let stack_ptr = params.stack_base + params.stack_bytes / 2;
+        ProcessGen { params, asid, supervisor, code, heap, globals, stack_ptr, pending_data: None }
+    }
+
+    /// The address space this generator emits into.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Returns the next reference.
+    pub fn next_ref<R: Rng + ?Sized>(&mut self, rng: &mut R) -> MemRef {
+        if let Some(r) = self.pending_data.take() {
+            return r;
+        }
+        let code_addr = self.code.next_addr(rng);
+        let ifetch = self.make(AccessKind::IFetch, code_addr);
+        if rng.random::<f64>() < self.params.data_per_ifetch {
+            let data = self.data_ref(rng);
+            self.pending_data = Some(data);
+        }
+        ifetch
+    }
+
+    fn data_ref<R: Rng + ?Sized>(&mut self, rng: &mut R) -> MemRef {
+        let p = &self.params;
+        let total: f64 = p.data_mix.iter().sum();
+        let mut pick = rng.random::<f64>() * total;
+        // Stack source: a small random walk around the stack pointer.
+        if pick < p.data_mix[0] {
+            let delta: i64 = rng.random_range(-8..=8) * 4;
+            let lo = p.stack_base as i64;
+            let hi = (p.stack_base + p.stack_bytes - 4) as i64;
+            self.stack_ptr = (self.stack_ptr as i64 + delta).clamp(lo, hi) as u64;
+            let kind =
+                if rng.random_bool(p.data_write_prob) { AccessKind::Write } else { AccessKind::Read };
+            return self.make(kind, self.stack_ptr);
+        }
+        pick -= p.data_mix[0];
+        // Globals source: drifting window of hot 256-byte pages. Writes
+        // concentrate on every fourth page; most globals are read-only
+        // tables, which keeps the replaced-page mix mostly clean (the
+        // paper's Table 2 assumes 75 % of replaced pages are unmodified).
+        if pick < p.data_mix[1] {
+            let page = self.globals.sample(rng) as u64;
+            let offset = rng.random_range(0..256u64 / 4) * 4;
+            let addr = p.globals_base + page * 256 + offset;
+            let writable = page % 4 == 0;
+            let kind = if writable && rng.random_bool(p.data_write_prob) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            return self.make(kind, addr);
+        }
+        // Heap source: working-set object bursts.
+        let (addr, is_write) = self.heap.next_ref(rng);
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        self.make(kind, addr)
+    }
+
+    fn make(&self, kind: AccessKind, addr: u64) -> MemRef {
+        MemRef {
+            asid: self.asid,
+            addr: VirtAddr::new(addr),
+            kind,
+            privilege: if self.supervisor { Privilege::Supervisor } else { Privilege::User },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(n: usize, seed: u64) -> Vec<MemRef> {
+        let mut p = ProcessGen::new(ProcessParams::user(), Asid::new(1), false);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p.next_ref(&mut rng)).collect()
+    }
+
+    #[test]
+    fn emits_expected_mix() {
+        let refs = run(100_000, 1);
+        let s = TraceStats::from_refs(refs);
+        // data_per_ifetch = 0.8 → ifetch fraction = 1/1.8 ≈ 0.556.
+        assert!((s.ifetch_fraction() - 1.0 / 1.8).abs() < 0.02, "ifetch {}", s.ifetch_fraction());
+        assert!(
+            s.write_fraction() > 0.05 && s.write_fraction() < 0.3,
+            "write {}",
+            s.write_fraction()
+        );
+        assert_eq!(s.supervisor, 0);
+    }
+
+    #[test]
+    fn supervisor_flag_propagates() {
+        let mut p = ProcessGen::new(ProcessParams::os(), Asid::KERNEL, true);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(p.next_ref(&mut rng).privilege, Privilege::Supervisor);
+        }
+        assert_eq!(p.asid(), Asid::KERNEL);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run(2000, 42), run(2000, 42));
+        assert_ne!(run(2000, 42), run(2000, 43));
+    }
+
+    #[test]
+    fn footprint_is_bounded() {
+        let refs = run(200_000, 3);
+        let s = TraceStats::from_refs(refs);
+        // The user() parameter set should stay under ≈100 KB of footprint.
+        assert!(s.footprint_bytes() < 120 * 1024, "footprint {} KB", s.footprint_bytes() / 1024);
+        assert!(s.footprint_bytes() > 16 * 1024);
+    }
+
+    #[test]
+    fn stack_addresses_confined() {
+        let p = ProcessParams::user();
+        let lo = p.stack_base;
+        let hi = p.stack_base + p.stack_bytes;
+        for r in run(50_000, 4) {
+            let a = r.addr.raw();
+            if (lo..hi).contains(&a) {
+                assert!(a % 4 == 0, "stack refs are word aligned");
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Record-traversal generator for the data-clustering study (§5.4, §7).
+//!
+//! The paper closes by demanding that "programming systems … recognize
+//! the importance of clustering related data on cache pages". This
+//! generator walks a collection of records touching only their *hot*
+//! fields, in two layouts:
+//!
+//! * **scattered** — each record is a `record_bytes` struct; its hot
+//!   field sits inside it, so one cache page holds only
+//!   `page/record_bytes` hot fields;
+//! * **packed** — the hot fields are split out into a contiguous array
+//!   (structure-of-arrays), so one cache page holds `page/4` of them.
+//!
+//! Same work, same record count — the miss-ratio difference is purely
+//! the layout, which is the claim to quantify.
+
+use rand::Rng;
+
+use vmp_types::{AccessKind, Asid, VirtAddr};
+
+use super::Zipf;
+use crate::MemRef;
+
+/// Data layout of a [`RecordTraversal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Hot fields embedded in full records (array-of-structs).
+    Scattered,
+    /// Hot fields extracted into a dense array (struct-of-arrays).
+    Packed,
+}
+
+/// Generates references of a workload that repeatedly visits the hot
+/// field of random records.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use vmp_trace::synth::{Layout, RecordTraversal};
+/// use vmp_types::Asid;
+///
+/// let mut gen = RecordTraversal::new(Asid::new(1), 0x10000, 1024, 64, Layout::Packed);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let r = gen.next_ref(&mut rng);
+/// assert!(r.addr.raw() >= 0x10000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordTraversal {
+    asid: Asid,
+    base: u64,
+    records: u64,
+    record_bytes: u64,
+    layout: Layout,
+    popularity: Zipf,
+}
+
+impl RecordTraversal {
+    /// Creates a traversal over `records` records of `record_bytes` each,
+    /// visited uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero or `record_bytes < 4`.
+    pub fn new(asid: Asid, base: u64, records: u64, record_bytes: u64, layout: Layout) -> Self {
+        Self::with_skew(asid, base, records, record_bytes, layout, 0.0)
+    }
+
+    /// Creates a traversal with Zipf-skewed record popularity (`s = 0`
+    /// is uniform), the realistic case for key lookups and symbol
+    /// tables.
+    ///
+    /// # Panics
+    ///
+    /// As [`RecordTraversal::new`]; additionally `s` must be finite and
+    /// non-negative.
+    pub fn with_skew(
+        asid: Asid,
+        base: u64,
+        records: u64,
+        record_bytes: u64,
+        layout: Layout,
+        s: f64,
+    ) -> Self {
+        assert!(records > 0, "need at least one record");
+        assert!(record_bytes >= 4, "records hold at least the hot field");
+        let popularity = Zipf::new(records as usize, s);
+        RecordTraversal { asid, base, records, record_bytes, layout, popularity }
+    }
+
+    /// Address of record `i`'s hot field under the configured layout.
+    pub fn hot_field_addr(&self, i: u64) -> VirtAddr {
+        let offset = match self.layout {
+            Layout::Scattered => i * self.record_bytes,
+            Layout::Packed => i * 4,
+        };
+        VirtAddr::new(self.base + offset)
+    }
+
+    /// Total bytes the hot fields span under this layout.
+    pub fn hot_span_bytes(&self) -> u64 {
+        match self.layout {
+            Layout::Scattered => self.records * self.record_bytes,
+            Layout::Packed => self.records * 4,
+        }
+    }
+
+    /// Emits one hot-field read of a randomly chosen record.
+    pub fn next_ref<R: Rng + ?Sized>(&mut self, rng: &mut R) -> MemRef {
+        let i = self.popularity.sample(rng) as u64;
+        MemRef {
+            asid: self.asid,
+            addr: self.hot_field_addr(i),
+            kind: AccessKind::Read,
+            privilege: vmp_types::Privilege::User,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layouts_span_differently() {
+        let scattered =
+            RecordTraversal::new(Asid::new(1), 0, 256, 64, Layout::Scattered);
+        let packed = RecordTraversal::new(Asid::new(1), 0, 256, 64, Layout::Packed);
+        assert_eq!(scattered.hot_span_bytes(), 256 * 64);
+        assert_eq!(packed.hot_span_bytes(), 256 * 4);
+        assert_eq!(scattered.hot_field_addr(3).raw(), 192);
+        assert_eq!(packed.hot_field_addr(3).raw(), 12);
+    }
+
+    #[test]
+    fn refs_stay_in_span() {
+        let mut g = RecordTraversal::new(Asid::new(2), 0x1000, 128, 32, Layout::Scattered);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let r = g.next_ref(&mut rng);
+            assert!(r.addr.raw() >= 0x1000);
+            assert!(r.addr.raw() < 0x1000 + g.hot_span_bytes());
+            assert!(r.kind.is_read());
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_records() {
+        let mut g =
+            RecordTraversal::with_skew(Asid::new(1), 0, 256, 64, Layout::Packed, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let hot = (0..5000)
+            .filter(|_| g.next_ref(&mut rng).addr.raw() < 32 * 4)
+            .count();
+        assert!(hot as f64 / 5000.0 > 0.4, "hot share {}", hot as f64 / 5000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn rejects_empty() {
+        let _ = RecordTraversal::new(Asid::new(1), 0, 0, 64, Layout::Packed);
+    }
+}

@@ -1,0 +1,251 @@
+//! LRU-stack / working-set data-reference model with phase drift.
+
+use rand::{Rng, RngExt};
+
+use super::DriftingZipf;
+
+/// Parameters for a [`WorkingSet`] generator.
+#[derive(Debug, Clone)]
+pub struct WorkingSetParams {
+    /// Base virtual address of the data region.
+    pub region_base: u64,
+    /// Object granularity in bytes (a struct/array element run).
+    pub object_bytes: u64,
+    /// Number of objects (footprint = `objects * object_bytes`).
+    pub objects: usize,
+    /// Zipf skew over objects inside the hot window.
+    pub zipf_s: f64,
+    /// Hot-window size in objects (the phase working set).
+    pub hot_window: usize,
+    /// Object visits per one-object drift of the hot window.
+    pub advance_every: u32,
+    /// Mean sequential references per object visit (geometric burst).
+    pub mean_burst: f64,
+    /// Probability a reference to a *writable* object is a write.
+    pub write_prob: f64,
+    /// Objects per writable cluster (writes concentrate on clustered
+    /// objects, leaving most data pages clean, as real programs do).
+    pub writable_cluster: usize,
+    /// Every `writable_cluster_period`-th cluster is writable;
+    /// `1` makes every object writable.
+    pub writable_cluster_period: usize,
+}
+
+impl Default for WorkingSetParams {
+    fn default() -> Self {
+        WorkingSetParams {
+            region_base: 0x1000_0000,
+            object_bytes: 64,
+            objects: 512, // 32 KB
+            zipf_s: 0.8,
+            hot_window: 128, // 8 KB hot
+            advance_every: 15,
+            mean_burst: 10.0,
+            write_prob: 0.3,
+            writable_cluster: 16,
+            writable_cluster_period: 4,
+        }
+    }
+}
+
+/// Generates data references with temporal locality (a drifting hot
+/// window of Zipf-popular objects — program phases) and spatial locality
+/// (short sequential bursts within an object).
+///
+/// Sequential bursts and the contiguous hot window mean that larger cache
+/// pages convert several object visits into a single miss — the property
+/// VMP's unusually large pages exploit.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use vmp_trace::synth::{WorkingSet, WorkingSetParams};
+///
+/// let mut ws = WorkingSet::new(WorkingSetParams::default());
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let (addr, _is_write) = ws.next_ref(&mut rng);
+/// assert!(addr >= 0x1000_0000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkingSet {
+    params: WorkingSetParams,
+    popularity: DriftingZipf,
+    current_object: u64,
+    offset: u64,
+    burst_left: u32,
+}
+
+impl WorkingSet {
+    /// Creates a generator with no active burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects`, `object_bytes`, `hot_window` or
+    /// `advance_every` is zero, or `mean_burst < 1`.
+    pub fn new(params: WorkingSetParams) -> Self {
+        assert!(params.objects > 0, "objects must be non-zero");
+        assert!(params.object_bytes > 0, "object size must be non-zero");
+        assert!(params.mean_burst >= 1.0, "mean burst must be at least 1");
+        assert!(
+            params.writable_cluster > 0 && params.writable_cluster_period > 0,
+            "writable cluster geometry must be non-zero"
+        );
+        let popularity = DriftingZipf::new(
+            params.objects,
+            params.hot_window,
+            params.zipf_s,
+            params.advance_every,
+        );
+        WorkingSet { params, popularity, current_object: 0, offset: 0, burst_left: 0 }
+    }
+
+    /// Returns the next `(address, is_write)` data reference.
+    pub fn next_ref<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (u64, bool) {
+        let p = &self.params;
+        if self.burst_left == 0 {
+            self.current_object = self.popularity.sample(rng) as u64;
+            self.offset = 0;
+            // Geometric burst with the requested mean: continue w.p. 1-1/mean.
+            let cont = 1.0 - 1.0 / p.mean_burst;
+            let mut len = 1u32;
+            while rng.random_bool(cont) && u64::from(len) * 4 < p.object_bytes {
+                len += 1;
+            }
+            self.burst_left = len;
+        }
+        let addr = p.region_base + self.current_object * p.object_bytes + self.offset;
+        self.offset = (self.offset + 4) % p.object_bytes;
+        self.burst_left -= 1;
+        let writable = (self.current_object as usize / p.writable_cluster)
+            % p.writable_cluster_period
+            == 0;
+        let is_write = writable && rng.random_bool(p.write_prob);
+        (addr, is_write)
+    }
+
+    /// Total footprint of the region in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.params.objects as u64 * self.params.object_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn addresses_stay_in_region() {
+        let p = WorkingSetParams::default();
+        let base = p.region_base;
+        let end = base + p.objects as u64 * p.object_bytes;
+        let mut ws = WorkingSet::new(p);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50_000 {
+            let (a, _) = ws.next_ref(&mut rng);
+            assert!(a >= base && a < end);
+        }
+    }
+
+    #[test]
+    fn write_fraction_near_parameter() {
+        let mut ws = WorkingSet::new(WorkingSetParams {
+            write_prob: 0.25,
+            writable_cluster_period: 1, // every object writable
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let writes = (0..n).filter(|_| ws.next_ref(&mut rng).1).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn writes_confined_to_writable_clusters() {
+        let p = WorkingSetParams {
+            write_prob: 1.0,
+            writable_cluster: 4,
+            writable_cluster_period: 2,
+            ..Default::default()
+        };
+        let ob = p.object_bytes;
+        let base = p.region_base;
+        let cluster = p.writable_cluster;
+        let period = p.writable_cluster_period;
+        let mut ws = WorkingSet::new(p);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut saw_write = false;
+        for _ in 0..10_000 {
+            let (a, w) = ws.next_ref(&mut rng);
+            let obj = ((a - base) / ob) as usize;
+            if w {
+                saw_write = true;
+                assert_eq!((obj / cluster) % period, 0, "write outside writable cluster");
+            }
+        }
+        assert!(saw_write);
+    }
+
+    #[test]
+    fn bursts_are_sequential() {
+        let mut ws = WorkingSet::new(WorkingSetParams { mean_burst: 8.0, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(5);
+        let addrs: Vec<u64> = (0..20_000).map(|_| ws.next_ref(&mut rng).0).collect();
+        let seq = addrs.windows(2).filter(|w| w[1] == w[0] + 4).count();
+        let frac = seq as f64 / addrs.len() as f64;
+        assert!(frac > 0.5, "sequential fraction {frac}");
+    }
+
+    #[test]
+    fn early_refs_confined_to_window_region() {
+        let p = WorkingSetParams::default();
+        let ob = p.object_bytes;
+        let base = p.region_base;
+        let bound = p.hot_window as u64 + 50;
+        let mut ws = WorkingSet::new(p);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            let (a, _) = ws.next_ref(&mut rng);
+            assert!((a - base) / ob < bound, "early ref escaped hot window");
+        }
+    }
+
+    #[test]
+    fn drift_covers_region_eventually() {
+        let p = WorkingSetParams {
+            objects: 64,
+            hot_window: 8,
+            advance_every: 2,
+            ..Default::default()
+        };
+        let ob = p.object_bytes;
+        let base = p.region_base;
+        let mut ws = WorkingSet::new(p);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let (a, _) = ws.next_ref(&mut rng);
+            seen.insert((a - base) / ob);
+        }
+        assert_eq!(seen.len(), 64, "drift should reach every object");
+    }
+
+    #[test]
+    fn footprint_reported() {
+        let ws = WorkingSet::new(WorkingSetParams {
+            objects: 100,
+            object_bytes: 64,
+            ..Default::default()
+        });
+        assert_eq!(ws.footprint_bytes(), 6400);
+    }
+
+    #[test]
+    #[should_panic(expected = "objects")]
+    fn rejects_zero_objects() {
+        let _ = WorkingSet::new(WorkingSetParams { objects: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based round-trip tests for both trace serializations, and
+//! cross-format agreement.
+
+use proptest::prelude::*;
+use vmp_trace::{read_binary, read_text, write_binary, write_text, MemRef, Trace};
+use vmp_types::{AccessKind, Asid, Privilege, VirtAddr};
+
+fn arb_ref() -> impl Strategy<Value = MemRef> {
+    (
+        any::<u8>(),
+        any::<u64>(),
+        prop_oneof![
+            Just(AccessKind::Read),
+            Just(AccessKind::Write),
+            Just(AccessKind::IFetch)
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(asid, addr, kind, sup)| MemRef {
+            asid: Asid::new(asid),
+            addr: VirtAddr::new(addr),
+            kind,
+            privilege: if sup { Privilege::Supervisor } else { Privilege::User },
+        })
+}
+
+proptest! {
+    #[test]
+    fn text_round_trips(refs in proptest::collection::vec(arb_ref(), 0..200)) {
+        let t: Trace = refs.into_iter().collect();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &t).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_round_trips(refs in proptest::collection::vec(arb_ref(), 0..200)) {
+        let t: Trace = refs.into_iter().collect();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn formats_agree(refs in proptest::collection::vec(arb_ref(), 0..100)) {
+        let t: Trace = refs.into_iter().collect();
+        let mut text = Vec::new();
+        write_text(&mut text, &t).unwrap();
+        let mut binary = Vec::new();
+        write_binary(&mut binary, &t).unwrap();
+        prop_assert_eq!(
+            read_text(text.as_slice()).unwrap(),
+            read_binary(binary.as_slice()).unwrap()
+        );
+        // Binary is the compact one.
+        if t.len() > 10 {
+            prop_assert!(binary.len() < text.len());
+        }
+    }
+}

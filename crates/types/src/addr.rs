@@ -1,0 +1,288 @@
+//! Address newtypes: virtual/physical addresses, page/frame numbers, ASIDs.
+
+use core::fmt;
+
+/// A virtual address as issued by a processor.
+///
+/// VMP caches are indexed and tagged by ⟨[`Asid`], virtual address⟩, so a
+/// `VirtAddr` on its own does not identify memory — pair it with an ASID.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_types::VirtAddr;
+/// let va = VirtAddr::new(0xdead_beef);
+/// assert_eq!(va.raw(), 0xdead_beef);
+/// assert_eq!(format!("{va}"), "va:0xdeadbeef");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from its raw integer value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the addition overflows `u64`.
+    #[inline]
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// A physical (main-memory) address as seen on the VMEbus.
+///
+/// Bus monitors match transactions by physical address; the software cache
+/// manager maintains the physical→cache-slot index in local memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from its raw integer value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// An 8-bit address-space identifier.
+///
+/// VMP extends every cache tag with an ASID so the cache need not be
+/// flushed on context switch; the OS simply loads a new ASID register
+/// (paper §2, §4). The kernel address space is shared across ASIDs in the
+/// real machine; the simulator models that in `vmp-vm`.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_types::Asid;
+/// assert_eq!(Asid::KERNEL.raw(), 0);
+/// assert_ne!(Asid::new(1), Asid::KERNEL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Asid(u8);
+
+impl Asid {
+    /// The ASID conventionally reserved for the kernel address space.
+    pub const KERNEL: Asid = Asid(0);
+
+    /// Creates an ASID from its raw 8-bit value.
+    #[inline]
+    pub const fn new(raw: u8) -> Self {
+        Asid(raw)
+    }
+
+    /// Returns the raw 8-bit value.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the kernel ASID.
+    #[inline]
+    pub const fn is_kernel(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid:{}", self.0)
+    }
+}
+
+/// A virtual cache-page number: a virtual address divided by the cache
+/// page size, still qualified by its [`Asid`].
+///
+/// The paper uses *cache page* the way conventional VM uses *virtual
+/// page* (§2 footnote 2); this is the unit the consistency protocol and
+/// the miss handler operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VirtPageNum(u64);
+
+impl VirtPageNum {
+    /// Creates a virtual page number from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtPageNum(raw)
+    }
+
+    /// Returns the raw page number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VirtPageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A physical *cache page frame* number: main memory viewed as an array
+/// of cache-page-sized frames (paper §3.1 footnote 4).
+///
+/// Bus-monitor action tables hold one two-bit entry per `FrameNum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FrameNum(u64);
+
+impl FrameNum {
+    /// Creates a frame number from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        FrameNum(raw)
+    }
+
+    /// Returns the raw frame number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the frame number as a `usize` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FrameNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{:#x}", self.0)
+    }
+}
+
+/// Identifies one processor board on the VMEbus.
+///
+/// The prototype supports several VMP processor boards on a single bus
+/// (§4); the queueing analysis in §5.3 estimates about five fit before
+/// bus contention dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessorId(usize);
+
+impl ProcessorId {
+    /// Creates a processor id from its index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        ProcessorId(index)
+    }
+
+    /// Returns the index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_roundtrip_and_ordering() {
+        let a = VirtAddr::new(16);
+        let b = a.add(16);
+        assert!(a < b);
+        assert_eq!(b.raw(), 32);
+        assert_eq!(VirtAddr::from(32u64), b);
+    }
+
+    #[test]
+    fn phys_addr_roundtrip() {
+        let p = PhysAddr::new(0x100).add(0x40);
+        assert_eq!(p.raw(), 0x140);
+        assert_eq!(PhysAddr::from(0x140u64), p);
+    }
+
+    #[test]
+    fn kernel_asid_is_zero() {
+        assert!(Asid::KERNEL.is_kernel());
+        assert!(!Asid::new(7).is_kernel());
+        assert_eq!(Asid::default(), Asid::KERNEL);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty_and_tagged() {
+        assert_eq!(format!("{}", VirtAddr::new(0x10)), "va:0x10");
+        assert_eq!(format!("{}", PhysAddr::new(0x10)), "pa:0x10");
+        assert_eq!(format!("{}", Asid::new(9)), "asid:9");
+        assert_eq!(format!("{}", VirtPageNum::new(2)), "vpn:0x2");
+        assert_eq!(format!("{}", FrameNum::new(2)), "frame:0x2");
+    }
+
+    #[test]
+    fn frame_num_index() {
+        assert_eq!(FrameNum::new(12).index(), 12usize);
+    }
+
+    #[test]
+    fn processor_id_roundtrip() {
+        let p = ProcessorId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.to_string(), "cpu3");
+        assert!(ProcessorId::new(1) < ProcessorId::new(2));
+    }
+}

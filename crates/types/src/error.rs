@@ -1,0 +1,75 @@
+//! Shared configuration error type.
+
+use core::fmt;
+
+/// Result alias for fallible constructors in this crate.
+pub type TypesResult<T> = Result<T, ConfigError>;
+
+/// An invalid configuration value was supplied to a constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The requested cache-page size is not a power of two ≥ 4 bytes.
+    InvalidPageSize {
+        /// The rejected byte count.
+        bytes: u64,
+    },
+    /// A count parameter (sets, slots, processors, …) must be non-zero.
+    ZeroCount {
+        /// Which parameter was zero.
+        what: &'static str,
+    },
+    /// A parameter must be a power of two but was not.
+    NotPowerOfTwo {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The rejected value.
+        value: u64,
+    },
+    /// Two parameters are mutually inconsistent.
+    Inconsistent {
+        /// Human-readable description of the conflict.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidPageSize { bytes } => {
+                write!(f, "invalid cache page size {bytes}: must be a power of two of at least 4 bytes")
+            }
+            ConfigError::ZeroCount { what } => write!(f, "{what} must be non-zero"),
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::Inconsistent { what } => write!(f, "inconsistent configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ConfigError::InvalidPageSize { bytes: 100 };
+        assert!(e.to_string().contains("100"));
+        let e = ConfigError::ZeroCount { what: "sets" };
+        assert!(e.to_string().contains("sets"));
+        let e = ConfigError::NotPowerOfTwo { what: "slots", value: 3 };
+        assert!(e.to_string().contains("slots"));
+        assert!(e.to_string().contains('3'));
+        let e = ConfigError::Inconsistent { what: "cache smaller than one page" };
+        assert!(e.to_string().contains("cache"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

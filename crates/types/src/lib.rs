@@ -1,0 +1,36 @@
+//! Core value types shared by every crate in the VMP simulator workspace.
+//!
+//! The VMP multiprocessor (Cheriton, Slavenburg & Boyle, ISCA 1986) couples
+//! each processor to a large, *virtually addressed* cache whose misses are
+//! handled in software. Simulating it faithfully requires keeping virtual
+//! and physical addresses, address-space identifiers, cache-page geometry
+//! and nanosecond-resolution simulated time rigorously apart. This crate
+//! provides the newtypes that enforce those distinctions statically.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmp_types::{Asid, PageSize, VirtAddr};
+//!
+//! let page = PageSize::S256;
+//! let va = VirtAddr::new(0x1234);
+//! assert_eq!(page.base_of(va.raw()), 0x1200);
+//! assert_eq!(page.offset_of(va.raw()), 0x34);
+//! let asid = Asid::new(3);
+//! assert_eq!(asid.raw(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod error;
+mod page;
+mod time;
+
+pub use access::{AccessKind, Privilege};
+pub use addr::{Asid, FrameNum, PhysAddr, ProcessorId, VirtAddr, VirtPageNum};
+pub use error::{ConfigError, TypesResult};
+pub use page::PageSize;
+pub use time::{Nanos, LONGWORD_BYTES};

@@ -1,0 +1,189 @@
+//! Cache-page geometry.
+
+use core::fmt;
+
+use crate::{ConfigError, FrameNum, PhysAddr, VirtAddr, VirtPageNum, LONGWORD_BYTES};
+
+/// A cache-page size in bytes.
+///
+/// The VMP prototype supports cache pages of 128, 256 or 512 bytes
+/// (paper §3.1 footnote 4); the simulator accepts any power of two ≥ one
+/// longword so that sensitivity studies beyond the prototype's three
+/// settings are possible. The three prototype sizes are provided as the
+/// associated constants [`PageSize::S128`], [`PageSize::S256`] and
+/// [`PageSize::S512`].
+///
+/// # Examples
+///
+/// ```
+/// use vmp_types::PageSize;
+///
+/// let p = PageSize::S256;
+/// assert_eq!(p.bytes(), 256);
+/// assert_eq!(p.longwords(), 64);
+/// assert_eq!(p.base_of(0x1234), 0x1200);
+/// assert_eq!(p.offset_of(0x1234), 0x34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PageSize(u64);
+
+impl PageSize {
+    /// 128-byte cache pages (smallest prototype setting).
+    pub const S128: PageSize = PageSize(128);
+    /// 256-byte cache pages (the paper's running example).
+    pub const S256: PageSize = PageSize(256);
+    /// 512-byte cache pages (largest prototype setting).
+    pub const S512: PageSize = PageSize(512);
+
+    /// The three page sizes the VMP prototype hardware supports.
+    pub const PROTOTYPE_SIZES: [PageSize; 3] = [Self::S128, Self::S256, Self::S512];
+
+    /// Creates a page size from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidPageSize`] unless `bytes` is a power
+    /// of two and at least one longword (4 bytes).
+    pub fn new(bytes: u64) -> Result<Self, ConfigError> {
+        if bytes >= LONGWORD_BYTES && bytes.is_power_of_two() {
+            Ok(PageSize(bytes))
+        } else {
+            Err(ConfigError::InvalidPageSize { bytes })
+        }
+    }
+
+    /// Returns the page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the page size in 32-bit longwords, the VMEbus transfer unit.
+    #[inline]
+    pub const fn longwords(self) -> u64 {
+        self.0 / LONGWORD_BYTES
+    }
+
+    /// Returns the log2 of the page size (the offset width in bits).
+    #[inline]
+    pub const fn offset_bits(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// Returns the page-aligned base of `addr`.
+    #[inline]
+    pub const fn base_of(self, addr: u64) -> u64 {
+        addr & !(self.0 - 1)
+    }
+
+    /// Returns the offset of `addr` within its page.
+    #[inline]
+    pub const fn offset_of(self, addr: u64) -> u64 {
+        addr & (self.0 - 1)
+    }
+
+    /// Returns the page number containing `addr`.
+    #[inline]
+    pub const fn page_of(self, addr: u64) -> u64 {
+        addr >> self.offset_bits()
+    }
+
+    /// Returns the virtual page number containing a virtual address.
+    #[inline]
+    pub const fn vpn_of(self, va: VirtAddr) -> VirtPageNum {
+        VirtPageNum::new(self.page_of(va.raw()))
+    }
+
+    /// Returns the physical frame number containing a physical address.
+    #[inline]
+    pub const fn frame_of(self, pa: PhysAddr) -> FrameNum {
+        FrameNum::new(self.page_of(pa.raw()))
+    }
+
+    /// Returns the base virtual address of a virtual page number.
+    #[inline]
+    pub const fn vpn_base(self, vpn: VirtPageNum) -> VirtAddr {
+        VirtAddr::new(vpn.raw() << self.offset_bits())
+    }
+
+    /// Returns the base physical address of a frame number.
+    #[inline]
+    pub const fn frame_base(self, frame: FrameNum) -> PhysAddr {
+        PhysAddr::new(frame.raw() << self.offset_bits())
+    }
+
+    /// Number of frames needed to cover `memory_bytes` of physical memory.
+    ///
+    /// Partial trailing frames are rounded up.
+    #[inline]
+    pub const fn frames_in(self, memory_bytes: u64) -> u64 {
+        memory_bytes.div_ceil(self.0)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.0)
+    }
+}
+
+impl Default for PageSize {
+    /// Defaults to the paper's running-example size of 256 bytes.
+    fn default() -> Self {
+        PageSize::S256
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_sizes_are_valid() {
+        for p in PageSize::PROTOTYPE_SIZES {
+            assert_eq!(PageSize::new(p.bytes()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_and_tiny() {
+        assert!(PageSize::new(100).is_err());
+        assert!(PageSize::new(0).is_err());
+        assert!(PageSize::new(2).is_err());
+        assert!(PageSize::new(4).is_ok());
+    }
+
+    #[test]
+    fn geometry_256() {
+        let p = PageSize::S256;
+        assert_eq!(p.longwords(), 64);
+        assert_eq!(p.offset_bits(), 8);
+        assert_eq!(p.base_of(0x1ff), 0x100);
+        assert_eq!(p.offset_of(0x1ff), 0xff);
+        assert_eq!(p.page_of(0x1ff), 1);
+    }
+
+    #[test]
+    fn vpn_and_frame_roundtrip() {
+        let p = PageSize::S128;
+        let va = VirtAddr::new(0x4321);
+        let vpn = p.vpn_of(va);
+        assert_eq!(p.vpn_base(vpn).raw(), p.base_of(va.raw()));
+        let pa = PhysAddr::new(0x4321);
+        let f = p.frame_of(pa);
+        assert_eq!(p.frame_base(f).raw(), p.base_of(pa.raw()));
+    }
+
+    #[test]
+    fn frames_in_rounds_up() {
+        assert_eq!(PageSize::S256.frames_in(1024), 4);
+        assert_eq!(PageSize::S256.frames_in(1025), 5);
+        assert_eq!(PageSize::S256.frames_in(0), 0);
+    }
+
+    #[test]
+    fn default_is_256() {
+        assert_eq!(PageSize::default(), PageSize::S256);
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulated time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Bytes per 32-bit longword, the VMEbus block-transfer unit.
+pub const LONGWORD_BYTES: u64 = 4;
+
+/// A duration or instant of simulated time, in nanoseconds.
+///
+/// All VMP timing parameters in the paper are stated in nanoseconds
+/// (60 ns CPU cycle, 300 ns first transfer, 100 ns per subsequent
+/// longword, 150 ns action-table windows), so a `u64` nanosecond count is
+/// exact for every quantity the simulator manipulates.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_types::Nanos;
+///
+/// let first = Nanos::from_ns(300);
+/// let rest = Nanos::from_ns(100) * 63;
+/// assert_eq!((first + rest).as_micros_f64(), 6.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in microseconds as a float (for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the value in seconds as a float (for rates).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Nanos) -> Nanos {
+        Nanos(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Nanos) -> Nanos {
+        Nanos(self.0.min(other.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_us(3), Nanos::from_ns(3_000));
+        assert_eq!(Nanos::from_ms(1), Nanos::from_us(1_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = Nanos::from_ns(100);
+        t += Nanos::from_ns(50);
+        assert_eq!(t.as_ns(), 150);
+        t -= Nanos::from_ns(150);
+        assert_eq!(t, Nanos::ZERO);
+        assert_eq!(Nanos::from_ns(10) * 7, Nanos::from_ns(70));
+        assert_eq!(Nanos::from_ns(70) / 7, Nanos::from_ns(10));
+        assert_eq!(
+            Nanos::ZERO.saturating_sub(Nanos::from_ns(5)),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    fn min_max_and_sum() {
+        let a = Nanos::from_ns(3);
+        let b = Nanos::from_ns(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let total: Nanos = [a, b, a].into_iter().sum();
+        assert_eq!(total.as_ns(), 15);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Nanos::from_ns(999).to_string(), "999ns");
+        assert_eq!(Nanos::from_ns(1_500).to_string(), "1.500us");
+        assert_eq!(Nanos::from_ms(2).to_string(), "2.000ms");
+    }
+
+    #[test]
+    fn block_transfer_matches_paper_table1_bus_times() {
+        // Paper Table 1: a one-page block transfer takes 300 ns for the
+        // first longword and 100 ns for each subsequent longword.
+        let transfer = |longwords: u64| Nanos::from_ns(300) + Nanos::from_ns(100) * (longwords - 1);
+        assert_eq!(transfer(32).as_micros_f64(), 3.4); // 128 B (paper rounds to 3.5)
+        assert_eq!(transfer(64).as_micros_f64(), 6.6); // 256 B
+        assert_eq!(transfer(128).as_micros_f64(), 13.0); // 512 B
+    }
+}

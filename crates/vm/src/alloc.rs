@@ -1,0 +1,143 @@
+//! Physical frame allocation.
+
+use std::collections::BTreeSet;
+
+use vmp_types::FrameNum;
+
+/// A free-list allocator over the physical cache-page frames of main
+/// memory.
+///
+/// Frames are handed out lowest-first for determinism. The kernel uses
+/// this for demand-zero page faults and for page-table backing frames.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_vm::FrameAllocator;
+/// use vmp_types::FrameNum;
+///
+/// let mut a = FrameAllocator::new(4);
+/// let f0 = a.alloc().unwrap();
+/// assert_eq!(f0, FrameNum::new(0));
+/// a.free(f0).unwrap();
+/// assert_eq!(a.free_frames(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    free: BTreeSet<u64>,
+    total: u64,
+}
+
+/// Errors from [`FrameAllocator::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreeError {
+    /// The frame was not allocated (double free or never handed out).
+    NotAllocated(FrameNum),
+    /// The frame is outside the allocator's range.
+    OutOfRange(FrameNum),
+}
+
+impl std::fmt::Display for FreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreeError::NotAllocated(fr) => write!(f, "double free of {fr}"),
+            FreeError::OutOfRange(fr) => write!(f, "{fr} outside allocator range"),
+        }
+    }
+}
+
+impl std::error::Error for FreeError {}
+
+impl FrameAllocator {
+    /// Creates an allocator over frames `0..total`.
+    pub fn new(total: u64) -> Self {
+        FrameAllocator { free: (0..total).collect(), total }
+    }
+
+    /// Creates an allocator over frames `first..total`, reserving the
+    /// low frames (boot code, device buffers).
+    pub fn with_reserved(total: u64, reserved: u64) -> Self {
+        FrameAllocator { free: (reserved..total).collect(), total }
+    }
+
+    /// Allocates the lowest free frame, or `None` when memory is full.
+    pub fn alloc(&mut self) -> Option<FrameNum> {
+        let f = *self.free.iter().next()?;
+        self.free.remove(&f);
+        Some(FrameNum::new(f))
+    }
+
+    /// Returns a frame to the free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreeError`] on double free or out-of-range frames.
+    pub fn free(&mut self, frame: FrameNum) -> Result<(), FreeError> {
+        if frame.raw() >= self.total {
+            return Err(FreeError::OutOfRange(frame));
+        }
+        if !self.free.insert(frame.raw()) {
+            return Err(FreeError::NotAllocated(frame));
+        }
+        Ok(())
+    }
+
+    /// Number of frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Total frames managed (including reserved ones never handed out).
+    pub fn total_frames(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_first() {
+        let mut a = FrameAllocator::new(3);
+        assert_eq!(a.alloc(), Some(FrameNum::new(0)));
+        assert_eq!(a.alloc(), Some(FrameNum::new(1)));
+        assert_eq!(a.alloc(), Some(FrameNum::new(2)));
+        assert_eq!(a.alloc(), None);
+    }
+
+    #[test]
+    fn free_and_realloc() {
+        let mut a = FrameAllocator::new(2);
+        let f0 = a.alloc().unwrap();
+        let _f1 = a.alloc().unwrap();
+        a.free(f0).unwrap();
+        assert_eq!(a.alloc(), Some(f0));
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = FrameAllocator::new(2);
+        let f = a.alloc().unwrap();
+        a.free(f).unwrap();
+        assert_eq!(a.free(f), Err(FreeError::NotAllocated(f)));
+        assert_eq!(a.free(FrameNum::new(99)), Err(FreeError::OutOfRange(FrameNum::new(99))));
+    }
+
+    #[test]
+    fn reserved_frames_not_allocated() {
+        let mut a = FrameAllocator::with_reserved(8, 4);
+        assert_eq!(a.alloc(), Some(FrameNum::new(4)));
+        assert_eq!(a.free_frames(), 3);
+        assert_eq!(a.total_frames(), 8);
+        // Reserved frames can still be explicitly freed into the pool.
+        a.free(FrameNum::new(0)).unwrap();
+        assert_eq!(a.alloc(), Some(FrameNum::new(0)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FreeError::NotAllocated(FrameNum::new(1)).to_string().contains("double free"));
+        assert!(FreeError::OutOfRange(FrameNum::new(1)).to_string().contains("range"));
+    }
+}

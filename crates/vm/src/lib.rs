@@ -1,0 +1,35 @@
+//! Virtual memory for the VMP machine: address spaces, two-level page
+//! tables and physical frame allocation.
+//!
+//! VMP has no MMU or TLB — the virtually addressed cache *is* the
+//! translation cache, and translation happens in software on cache miss
+//! (paper §2). A two-level page table is the proposed scheme; page tables
+//! may themselves live in virtual memory, so a miss can recurse a bounded
+//! number of levels.
+//!
+//! This crate supplies the functional layer: [`AddressSpace`] (mapping
+//! state + referenced/modified bits), [`FrameAllocator`], and the layout
+//! of the page tables in kernel virtual space ([`AddressSpace::pte_va`])
+//! so the machine model in `vmp-core` can charge the *cache traffic* of
+//! page-table walks exactly where the real machine would incur it.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmp_types::{Asid, FrameNum, PageSize, VirtAddr};
+//! use vmp_vm::{AddressSpace, Pte};
+//!
+//! let mut space = AddressSpace::new(Asid::new(1), PageSize::S256);
+//! let vpn = PageSize::S256.vpn_of(VirtAddr::new(0x4000));
+//! space.map(vpn, Pte::user_rw(FrameNum::new(9)));
+//! assert_eq!(space.translate(vpn).unwrap().frame, FrameNum::new(9));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod space;
+
+pub use alloc::{FrameAllocator, FreeError};
+pub use space::{AddressSpace, Pte, PT_BASE};

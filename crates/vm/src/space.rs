@@ -1,0 +1,320 @@
+//! Address spaces and their two-level page tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vmp_types::{Asid, FrameNum, PageSize, VirtAddr, VirtPageNum};
+
+/// Base kernel virtual address of the page-table arrays.
+///
+/// Each address space's PTEs occupy a linear array in kernel virtual
+/// space — four bytes per virtual page — so the miss handler's
+/// page-table *references* themselves go through the cache, exactly the
+/// recursive-miss structure §2 of the paper describes.
+pub const PT_BASE: u64 = 0xf400_0000;
+
+/// One page-table entry.
+///
+/// Carries the physical frame plus the protection and usage bits the
+/// paper's cache flags mirror (§4): writability, supervisor-only, and
+/// the referenced/modified bits the page-out daemon maintains through
+/// assert-ownership flushes (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// The physical cache-page frame this virtual page maps to.
+    pub frame: FrameNum,
+    /// Writes permitted (at the mapping's privilege level).
+    pub writable: bool,
+    /// Accessible only in supervisor mode.
+    pub supervisor_only: bool,
+    /// Set when the page has been referenced since last cleared.
+    pub referenced: bool,
+    /// Set when the page has been written since last cleared.
+    pub modified: bool,
+    /// §5.4 software hint: this page is not shared between processors,
+    /// so a read miss may fetch it private (read-private) immediately,
+    /// avoiding a later assert-ownership upgrade on first write.
+    pub hint_private: bool,
+}
+
+impl Pte {
+    /// A user-mode read-write mapping.
+    pub const fn user_rw(frame: FrameNum) -> Self {
+        Pte {
+            frame,
+            writable: true,
+            supervisor_only: false,
+            referenced: false,
+            modified: false,
+            hint_private: false,
+        }
+    }
+
+    /// A user-mode read-only mapping.
+    pub const fn user_ro(frame: FrameNum) -> Self {
+        Pte {
+            frame,
+            writable: false,
+            supervisor_only: false,
+            referenced: false,
+            modified: false,
+            hint_private: false,
+        }
+    }
+
+    /// A supervisor-only read-write mapping.
+    pub const fn kernel_rw(frame: FrameNum) -> Self {
+        Pte {
+            frame,
+            writable: true,
+            supervisor_only: true,
+            referenced: false,
+            modified: false,
+            hint_private: false,
+        }
+    }
+
+    /// Returns the same mapping with the §5.4 non-shared hint set.
+    #[must_use]
+    pub const fn with_private_hint(mut self) -> Self {
+        self.hint_private = true;
+        self
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}{}",
+            self.frame,
+            if self.writable { " w" } else { " r" },
+            if self.supervisor_only { " sup" } else { "" },
+            if self.referenced { " R" } else { "" },
+            if self.modified { " M" } else { "" },
+        )
+    }
+}
+
+/// An address space: ASID plus a two-level page table.
+///
+/// The first level (the "directory") indexes fixed-size leaf tables;
+/// leaves are allocated on first mapping, mirroring a real sparse
+/// two-level table. The leaf size is chosen so one leaf's PTEs fill
+/// exactly one cache page (`page_size / 4` entries of 4 bytes), making
+/// [`AddressSpace::pte_va`] land PTE lookups on cache-page boundaries
+/// the way the real layout would.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_types::{Asid, FrameNum, PageSize, VirtPageNum};
+/// use vmp_vm::{AddressSpace, Pte};
+///
+/// let mut s = AddressSpace::new(Asid::new(2), PageSize::S128);
+/// let vpn = VirtPageNum::new(100);
+/// assert!(s.translate(vpn).is_none());
+/// s.map(vpn, Pte::user_rw(FrameNum::new(3)));
+/// assert_eq!(s.mapped_pages(), 1);
+/// let old = s.unmap(vpn).unwrap();
+/// assert_eq!(old.frame, FrameNum::new(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    asid: Asid,
+    page_size: PageSize,
+    /// Entries per leaf table (= PTEs per cache page).
+    leaf_entries: u64,
+    leaves: BTreeMap<u64, Vec<Option<Pte>>>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new(asid: Asid, page_size: PageSize) -> Self {
+        let leaf_entries = page_size.bytes() / 4;
+        AddressSpace { asid, page_size, leaf_entries, leaves: BTreeMap::new() }
+    }
+
+    /// The space's ASID.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// The cache-page size translations are done at.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    fn split(&self, vpn: VirtPageNum) -> (u64, usize) {
+        (vpn.raw() / self.leaf_entries, (vpn.raw() % self.leaf_entries) as usize)
+    }
+
+    /// Looks up the PTE for a virtual page.
+    pub fn translate(&self, vpn: VirtPageNum) -> Option<&Pte> {
+        let (leaf, idx) = self.split(vpn);
+        self.leaves.get(&leaf)?.get(idx)?.as_ref()
+    }
+
+    /// Mutable lookup (for referenced/modified bit maintenance).
+    pub fn translate_mut(&mut self, vpn: VirtPageNum) -> Option<&mut Pte> {
+        let (leaf, idx) = self.split(vpn);
+        self.leaves.get_mut(&leaf)?.get_mut(idx)?.as_mut()
+    }
+
+    /// Installs a mapping, returning any previous PTE.
+    pub fn map(&mut self, vpn: VirtPageNum, pte: Pte) -> Option<Pte> {
+        let (leaf, idx) = self.split(vpn);
+        let entries = self.leaf_entries as usize;
+        let table = self.leaves.entry(leaf).or_insert_with(|| vec![None; entries]);
+        table[idx].replace(pte)
+    }
+
+    /// Removes a mapping, returning the PTE if one existed.
+    pub fn unmap(&mut self, vpn: VirtPageNum) -> Option<Pte> {
+        let (leaf, idx) = self.split(vpn);
+        let table = self.leaves.get_mut(&leaf)?;
+        let old = table[idx].take();
+        if table.iter().all(Option::is_none) {
+            self.leaves.remove(&leaf);
+        }
+        old
+    }
+
+    /// The kernel virtual address holding this virtual page's PTE.
+    ///
+    /// The machine's miss handler *references this address through the
+    /// cache* during translation, so a cold PTE page produces the nested
+    /// cache miss of §2.
+    pub fn pte_va(&self, vpn: VirtPageNum) -> VirtAddr {
+        // Per-space linear PTE array: 4 bytes per page, spaces separated
+        // by the maximum array span (2^26 bytes covers a 2^24-page space).
+        VirtAddr::new(PT_BASE + ((self.asid.raw() as u64) << 26) + vpn.raw() * 4)
+    }
+
+    /// Number of live mappings.
+    pub fn mapped_pages(&self) -> usize {
+        self.leaves.values().flat_map(|l| l.iter()).filter(|e| e.is_some()).count()
+    }
+
+    /// Number of allocated leaf tables (second-level pages).
+    pub fn leaf_tables(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Iterates over all live mappings.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtPageNum, &Pte)> + '_ {
+        self.leaves.iter().flat_map(move |(leaf, table)| {
+            table.iter().enumerate().filter_map(move |(i, e)| {
+                e.as_ref().map(|pte| (VirtPageNum::new(leaf * self.leaf_entries + i as u64), pte))
+            })
+        })
+    }
+
+    /// Finds every virtual page mapped to `frame` (reverse lookup — the
+    /// aliases of a physical page within this space).
+    pub fn reverse_lookup(&self, frame: FrameNum) -> Vec<VirtPageNum> {
+        self.iter().filter(|(_, pte)| pte.frame == frame).map(|(vpn, _)| vpn).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(Asid::new(1), PageSize::S256)
+    }
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut s = space();
+        let vpn = VirtPageNum::new(0x1234);
+        assert!(s.translate(vpn).is_none());
+        assert_eq!(s.map(vpn, Pte::user_rw(FrameNum::new(7))), None);
+        assert_eq!(s.translate(vpn).unwrap().frame, FrameNum::new(7));
+        let prev = s.map(vpn, Pte::user_ro(FrameNum::new(8)));
+        assert_eq!(prev.unwrap().frame, FrameNum::new(7));
+        assert_eq!(s.unmap(vpn).unwrap().frame, FrameNum::new(8));
+        assert!(s.unmap(vpn).is_none());
+        assert_eq!(s.mapped_pages(), 0);
+        assert_eq!(s.leaf_tables(), 0);
+    }
+
+    #[test]
+    fn leaves_sized_to_cache_pages() {
+        // 256-byte pages → 64 PTEs per leaf.
+        let mut s = space();
+        s.map(VirtPageNum::new(0), Pte::user_rw(FrameNum::new(1)));
+        s.map(VirtPageNum::new(63), Pte::user_rw(FrameNum::new(2)));
+        assert_eq!(s.leaf_tables(), 1);
+        s.map(VirtPageNum::new(64), Pte::user_rw(FrameNum::new(3)));
+        assert_eq!(s.leaf_tables(), 2);
+    }
+
+    #[test]
+    fn pte_va_layout() {
+        let s = space();
+        let a = s.pte_va(VirtPageNum::new(0));
+        let b = s.pte_va(VirtPageNum::new(1));
+        assert_eq!(b.raw() - a.raw(), 4);
+        assert!(a.raw() >= PT_BASE);
+        // Different spaces get disjoint PTE arrays.
+        let other = AddressSpace::new(Asid::new(2), PageSize::S256);
+        assert_ne!(other.pte_va(VirtPageNum::new(0)), a);
+        // PTEs for one leaf share one cache page.
+        let first = s.pte_va(VirtPageNum::new(0));
+        let last = s.pte_va(VirtPageNum::new(63));
+        let p = PageSize::S256;
+        assert_eq!(p.vpn_of(first), p.vpn_of(last));
+        assert_ne!(p.vpn_of(first), p.vpn_of(s.pte_va(VirtPageNum::new(64))));
+    }
+
+    #[test]
+    fn referenced_modified_bits() {
+        let mut s = space();
+        let vpn = VirtPageNum::new(5);
+        s.map(vpn, Pte::user_rw(FrameNum::new(1)));
+        let pte = s.translate_mut(vpn).unwrap();
+        pte.referenced = true;
+        pte.modified = true;
+        assert!(s.translate(vpn).unwrap().referenced);
+        assert!(s.translate(vpn).unwrap().modified);
+    }
+
+    #[test]
+    fn reverse_lookup_finds_aliases() {
+        let mut s = space();
+        s.map(VirtPageNum::new(10), Pte::user_rw(FrameNum::new(3)));
+        s.map(VirtPageNum::new(900), Pte::user_ro(FrameNum::new(3)));
+        s.map(VirtPageNum::new(20), Pte::user_rw(FrameNum::new(4)));
+        let mut aliases = s.reverse_lookup(FrameNum::new(3));
+        aliases.sort();
+        assert_eq!(aliases, vec![VirtPageNum::new(10), VirtPageNum::new(900)]);
+    }
+
+    #[test]
+    fn iter_enumerates_all() {
+        let mut s = space();
+        for i in 0..100 {
+            s.map(VirtPageNum::new(i * 3), Pte::user_rw(FrameNum::new(i)));
+        }
+        assert_eq!(s.iter().count(), 100);
+        assert_eq!(s.mapped_pages(), 100);
+        let collected: Vec<_> = s.iter().map(|(v, _)| v.raw()).collect();
+        let mut sorted = collected.clone();
+        sorted.sort_unstable();
+        assert_eq!(collected, sorted, "iteration is ordered");
+    }
+
+    #[test]
+    fn pte_constructors_and_display() {
+        let rw = Pte::user_rw(FrameNum::new(1));
+        assert!(rw.writable && !rw.supervisor_only && !rw.hint_private);
+        let ro = Pte::user_ro(FrameNum::new(1));
+        assert!(!ro.writable);
+        let k = Pte::kernel_rw(FrameNum::new(1));
+        assert!(k.supervisor_only && k.writable);
+        assert!(k.to_string().contains("sup"));
+        assert!(Pte::user_rw(FrameNum::new(1)).with_private_hint().hint_private);
+    }
+}

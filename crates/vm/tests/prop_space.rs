@@ -1,0 +1,97 @@
+//! Property-based tests of the two-level page table against a flat
+//! HashMap model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use vmp_types::{Asid, FrameNum, PageSize, VirtPageNum};
+use vmp_vm::{AddressSpace, FrameAllocator, Pte};
+
+#[derive(Debug, Clone)]
+enum SpaceOp {
+    Map(u64, u64),
+    Unmap(u64),
+    Touch(u64, bool),
+}
+
+fn arb_op() -> impl Strategy<Value = SpaceOp> {
+    prop_oneof![
+        (0u64..500, 0u64..64).prop_map(|(v, f)| SpaceOp::Map(v, f)),
+        (0u64..500).prop_map(SpaceOp::Unmap),
+        (0u64..500, any::<bool>()).prop_map(|(v, w)| SpaceOp::Touch(v, w)),
+    ]
+}
+
+proptest! {
+    /// The sparse two-level table behaves exactly like a flat map.
+    #[test]
+    fn space_matches_hashmap_model(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let mut space = AddressSpace::new(Asid::new(1), PageSize::S256);
+        let mut model: HashMap<u64, Pte> = HashMap::new();
+        for op in ops {
+            match op {
+                SpaceOp::Map(v, f) => {
+                    let pte = Pte::user_rw(FrameNum::new(f));
+                    let got = space.map(VirtPageNum::new(v), pte);
+                    let want = model.insert(v, pte);
+                    prop_assert_eq!(got, want);
+                }
+                SpaceOp::Unmap(v) => {
+                    let got = space.unmap(VirtPageNum::new(v));
+                    let want = model.remove(&v);
+                    prop_assert_eq!(got, want);
+                }
+                SpaceOp::Touch(v, w) => {
+                    if let Some(pte) = space.translate_mut(VirtPageNum::new(v)) {
+                        pte.referenced = true;
+                        pte.modified |= w;
+                    }
+                    if let Some(pte) = model.get_mut(&v) {
+                        pte.referenced = true;
+                        pte.modified |= w;
+                    }
+                }
+            }
+            prop_assert_eq!(space.mapped_pages(), model.len());
+        }
+        // Full sweep comparison at the end.
+        for v in 0..500u64 {
+            prop_assert_eq!(
+                space.translate(VirtPageNum::new(v)).copied(),
+                model.get(&v).copied()
+            );
+        }
+        // Reverse lookup agrees with a scan of the model.
+        for f in 0..64u64 {
+            let mut want: Vec<u64> = model
+                .iter()
+                .filter(|(_, pte)| pte.frame == FrameNum::new(f))
+                .map(|(&v, _)| v)
+                .collect();
+            want.sort_unstable();
+            let got: Vec<u64> =
+                space.reverse_lookup(FrameNum::new(f)).into_iter().map(|v| v.raw()).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// The frame allocator never double-allocates and exactly conserves
+    /// its frame count.
+    #[test]
+    fn allocator_conserves_frames(script in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let total = 32u64;
+        let mut alloc = FrameAllocator::new(total);
+        let mut held: Vec<FrameNum> = Vec::new();
+        for take in script {
+            if take {
+                if let Some(f) = alloc.alloc() {
+                    prop_assert!(!held.contains(&f), "double allocation of {f}");
+                    held.push(f);
+                }
+            } else if let Some(f) = held.pop() {
+                alloc.free(f).unwrap();
+            }
+            prop_assert_eq!(alloc.free_frames() + held.len() as u64, total);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Cache-geometry study: replay one synthetic ATUM-like trace through
+//! the virtually-addressed cache at every prototype geometry — the
+//! Figure 4 experiment in miniature.
+//!
+//! ```sh
+//! cargo run --release --example cache_study
+//! ```
+
+use vmp::analytic::{processor_performance, render_table, MissCostModel, ProcessorModel};
+use vmp::cache::{CacheConfig, TagCache};
+use vmp::trace::synth::{AtumParams, AtumWorkload};
+use vmp::trace::Trace;
+use vmp::types::PageSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace: Trace = AtumWorkload::new(AtumParams::default(), 1986).take(200_000).collect();
+    let stats = trace.stats();
+    println!(
+        "trace: {} refs, footprint {} KB, OS share {:.1}%\n",
+        stats.total,
+        stats.footprint_bytes() / 1024,
+        100.0 * stats.supervisor_fraction()
+    );
+
+    let proc = ProcessorModel::default();
+    let mut rows = Vec::new();
+    for kb in [64u64, 128, 256] {
+        for page in PageSize::PROTOTYPE_SIZES {
+            let config = CacheConfig::new(page, 4, kb * 1024)?;
+            let mut cache = TagCache::new(config);
+            let s = cache.run(trace.iter().copied());
+            // Chain into the paper's performance model (Figure 3).
+            let avg = MissCostModel::paper(page).average(0.75);
+            let perf = processor_performance(s.miss_ratio(), avg.elapsed, &proc);
+            rows.push(vec![
+                format!("{kb} KB"),
+                page.to_string(),
+                format!("{:.3}%", 100.0 * s.miss_ratio()),
+                format!("{:.1}%", 100.0 * perf),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["cache", "page", "miss ratio", "predicted cpu perf"], &rows)
+    );
+    println!(
+        "larger caches and larger pages both cut the miss ratio; the paper's\n\
+         design point (256 B pages, 128-256 KB) keeps the software-handled\n\
+         miss overhead in the 80-95% performance band."
+    );
+    Ok(())
+}

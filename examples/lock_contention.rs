@@ -1,0 +1,52 @@
+//! Lock-discipline comparison (§5.4): naive test-and-set spinning versus
+//! bus-monitor notification locks, on the full machine.
+//!
+//! ```sh
+//! cargo run --release --example lock_contention
+//! ```
+
+use vmp::machine::workloads::{LockDiscipline, LockWorker};
+use vmp::machine::{Machine, MachineConfig};
+use vmp::types::{Asid, Nanos, VirtAddr};
+
+fn run(discipline: LockDiscipline, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = MachineConfig::default();
+    config.processors = 4;
+    config.max_time = Nanos::from_ms(60_000);
+    let mut machine = Machine::build(config)?;
+    let lock = VirtAddr::new(0x1000);
+    let counter = VirtAddr::new(0x2000);
+    for cpu in 0..4 {
+        machine.set_program(
+            cpu,
+            LockWorker::new(discipline, lock, counter, 25, Nanos::from_us(10), Nanos::from_us(5)),
+        )?;
+    }
+    let report = machine.run()?;
+    let counter_value = machine.peek_word(Asid::new(1), counter).unwrap();
+    let moves: u64 =
+        report.processors.iter().map(|p| p.write_misses + p.upgrades + p.invalidations).sum();
+    let irqs: u64 = report.processors.iter().map(|p| p.consistency_interrupts).sum();
+    println!(
+        "{label:9}: elapsed {:>10}, counter {} (expect 100), bus {:>5.1}%, \
+         ownership moves {moves}, consistency irqs {irqs}, aborts {}",
+        report.elapsed.to_string(),
+        counter_value,
+        100.0 * report.bus_utilization(),
+        report.bus.aborts,
+    );
+    machine.validate().expect("invariants hold");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("four processors incrementing one shared counter 25 times each:\n");
+    run(LockDiscipline::Spin, "tas-spin")?;
+    run(LockDiscipline::Notify, "notify")?;
+    println!(
+        "\nthe spin discipline ping-pongs the lock page between caches on every\n\
+         attempt (the 'enormous consistency overhead' of §5.4); notification\n\
+         locks park waiters on action-table code 11 until the holder's notify."
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # vmp — Software-Controlled Caches in the VMP Multiprocessor
+//!
+//! A production-quality Rust reproduction of the system described in
+//! D. R. Cheriton, G. A. Slavenburg and P. D. Boyle, *Software-Controlled
+//! Caches in the VMP Multiprocessor*, ISCA 1986.
+//!
+//! VMP couples each processor to a large, virtually-addressed cache whose
+//! misses are handled in *software*, like page faults; a per-processor
+//! **bus monitor** with a two-bit-per-frame action table enforces a simple
+//! shared/private ownership consistency protocol over a VMEbus.
+//!
+//! This facade crate re-exports the full simulator stack:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `vmp-types` | addresses, ASIDs, page sizes, simulated time |
+//! | [`sim`] | `vmp-sim` | discrete-event engine, statistics |
+//! | [`trace`] | `vmp-trace` | reference traces, ATUM-like synthetic workloads |
+//! | [`cache`] | `vmp-cache` | virtually-addressed set-associative cache |
+//! | [`mem`] | `vmp-mem` | main memory, block copier, local memory |
+//! | [`bus`] | `vmp-bus` | VMEbus, bus monitor, action tables |
+//! | [`vm`] | `vmp-vm` | address spaces and two-level page tables |
+//! | [`machine`] | `vmp-core` | the full VMP machine model |
+//! | [`baselines`] | `vmp-baselines` | snoopy write-broadcast & MIPS-X baselines |
+//! | [`analytic`] | `vmp-analytic` | closed-form performance models |
+//!
+//! # Quick start
+//!
+//! ```
+//! use vmp::machine::{Machine, MachineConfig};
+//! use vmp::trace::synth::{AtumParams, AtumWorkload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::build(MachineConfig::default())?;
+//! let refs = AtumWorkload::new(AtumParams::default(), 42).take(20_000);
+//! machine.load_trace(0, refs)?;
+//! let report = machine.run()?;
+//! assert!(report.processors[0].refs > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use vmp_analytic as analytic;
+pub use vmp_baselines as baselines;
+pub use vmp_bus as bus;
+pub use vmp_cache as cache;
+pub use vmp_core as machine;
+pub use vmp_mem as mem;
+pub use vmp_sim as sim;
+pub use vmp_trace as trace;
+pub use vmp_types as types;
+pub use vmp_vm as vm;

@@ -1,0 +1,113 @@
+//! Cross-crate integration through the facade: the analytic models, the
+//! trace-driven cache simulator and the full machine must tell one
+//! consistent story.
+
+use vmp::analytic::{processor_performance, MissCostModel, ProcessorModel};
+use vmp::cache::{CacheConfig, TagCache};
+use vmp::machine::{Machine, MachineConfig, Op, ScriptProgram, TraceProgram};
+use vmp::trace::synth::{AtumParams, AtumWorkload};
+use vmp::trace::Trace;
+use vmp::types::{Asid, Nanos, PageSize, VirtAddr};
+
+#[test]
+fn machine_miss_cost_matches_analytic_model() {
+    // One clean conflict miss on the machine should cost what the
+    // Table 1 model says, within arbitration slack.
+    let page = PageSize::S256;
+    let run = |ops: Vec<Op>| {
+        let mut config = MachineConfig::default();
+        config.processors = 1;
+        config.cache = CacheConfig::new(page, 1, page.bytes() * 2).unwrap();
+        config.memory_bytes = 64 * 1024;
+        let mut m = Machine::build(config).unwrap();
+        m.set_program(0, ScriptProgram::new(ops)).unwrap();
+        m.run().unwrap();
+        m.cpu_stats(0).stall_time
+    };
+    let a = VirtAddr::new(page.bytes());
+    let b = VirtAddr::new(page.bytes() * 3);
+    let base = run(vec![Op::Read(a), Op::Read(b), Op::Halt]);
+    let full = run(vec![Op::Read(a), Op::Read(b), Op::Read(a), Op::Halt]);
+    let measured = full - base;
+    let model = MissCostModel::paper(page).elapsed(false);
+    let diff = measured.as_ns().abs_diff(model.as_ns());
+    assert!(
+        diff < 1_000,
+        "machine {measured} vs model {model} differ by more than 1 us"
+    );
+}
+
+#[test]
+fn machine_and_tag_cache_agree_on_miss_ratio() {
+    // The full machine replaying a trace should see a miss ratio close
+    // to the tag-only simulator's (the machine adds PTE-page traffic, so
+    // it may run slightly higher).
+    let trace: Trace = AtumWorkload::new(AtumParams::default(), 7).take(30_000).collect();
+    let config = CacheConfig::new(PageSize::S256, 4, 128 * 1024).unwrap();
+    let mut tag = TagCache::new(config);
+    // The machine runs everything in one address space; mirror that in
+    // the tag simulation for a like-for-like comparison.
+    let tag_stats = tag.run(trace.iter().map(|r| {
+        let mut r = *r;
+        r.asid = Asid::new(1);
+        r
+    }));
+
+    let mut mconfig = MachineConfig::default();
+    mconfig.processors = 1;
+    mconfig.cache = config;
+    mconfig.memory_bytes = 2 * 1024 * 1024;
+    mconfig.cpu.page_fault = Nanos::ZERO;
+    let mut m = Machine::build(mconfig).unwrap();
+    m.set_program(0, TraceProgram::new(trace.clone().into_iter())).unwrap();
+    let report = m.run().unwrap();
+    let machine_ratio = report.processors[0].miss_ratio();
+    let tag_ratio = tag_stats.miss_ratio();
+    assert!(
+        machine_ratio >= tag_ratio * 0.8 && machine_ratio <= tag_ratio * 2.0,
+        "machine {machine_ratio} vs tag {tag_ratio}"
+    );
+    m.validate().unwrap();
+}
+
+#[test]
+fn measured_performance_tracks_figure3_model() {
+    // Run the machine on a trace, then feed its *measured* miss ratio
+    // into the Figure 3 formula: the machine's measured performance
+    // should land near the model's prediction.
+    let trace: Trace = AtumWorkload::new(AtumParams::default(), 11).take(40_000).collect();
+    let mut config = MachineConfig::default();
+    config.processors = 1;
+    config.memory_bytes = 2 * 1024 * 1024;
+    config.cpu.page_fault = Nanos::ZERO; // the model does not price page faults
+    let mut m = Machine::build(config).unwrap();
+    m.set_program(0, TraceProgram::new(trace.into_iter())).unwrap();
+    let report = m.run().unwrap();
+    let stats = &report.processors[0];
+    // Use the machine's real per-miss stall, which includes PTE traffic.
+    let events = stats.misses() + stats.upgrades;
+    let per_miss = stats.stall_time / events.max(1);
+    let predicted = processor_performance(
+        events as f64 / stats.refs as f64,
+        per_miss,
+        &ProcessorModel::default(),
+    );
+    let measured = stats.performance();
+    assert!(
+        (measured - predicted).abs() < 0.08,
+        "measured {measured:.3} vs Figure-3 formula {predicted:.3}"
+    );
+}
+
+#[test]
+fn facade_reexports_are_coherent() {
+    // The facade's type aliases refer to the same types as the member
+    // crates (compile-time identity check by using them together).
+    let page: vmp::types::PageSize = PageSize::S128;
+    let config = vmp::cache::CacheConfig::new(page, 2, 4096).unwrap();
+    let _tags = vmp::cache::TagArray::new(config);
+    let timings = vmp::mem::MemTimings::default();
+    assert_eq!(timings.page_transfer(page).as_micros_f64(), 3.4);
+    let mva = vmp::analytic::mva(2, Nanos::from_us(8), Nanos::from_us(72));
+    assert!(mva.bus_utilization > 0.0);
+}

@@ -1,0 +1,138 @@
+//! Whole-system scenarios across crates: mixed trace + synchronization
+//! workloads, scaling, and baseline consistency.
+
+use vmp::baselines::{Access, CoherenceModel, OwnershipSystem, SnoopySystem};
+use vmp::machine::workloads::{LockDiscipline, LockWorker, SweepWorker};
+use vmp::machine::{Machine, MachineConfig, TraceProgram};
+use vmp::trace::synth::{AtumParams, AtumWorkload};
+use vmp::types::{Asid, Nanos, PageSize, VirtAddr};
+
+#[test]
+fn mixed_workload_machine_stays_consistent() {
+    let mut config = MachineConfig::default();
+    config.processors = 3;
+    config.memory_bytes = 2 * 1024 * 1024;
+    config.cpu.page_fault = Nanos::from_us(10);
+    config.max_time = Nanos::from_ms(60_000);
+    let mut m = Machine::build(config).unwrap();
+
+    // CPU 0: trace playback in its own space.
+    m.set_asid(0, Asid::new(5)).unwrap();
+    let refs = AtumWorkload::new(AtumParams::default(), 3).take(8_000).map(|mut r| {
+        r.asid = Asid::new(5);
+        r
+    });
+    m.set_program(0, TraceProgram::new(refs)).unwrap();
+
+    // CPUs 1 and 2: locked counter in the shared default space.
+    let lock = VirtAddr::new(0x1000);
+    let counter = VirtAddr::new(0x2000);
+    for cpu in 1..3 {
+        m.set_program(
+            cpu,
+            LockWorker::new(
+                LockDiscipline::Notify,
+                lock,
+                counter,
+                10,
+                Nanos::from_us(3),
+                Nanos::from_us(4),
+            ),
+        )
+        .unwrap();
+    }
+
+    m.run().unwrap();
+    assert_eq!(m.peek_word(Asid::new(1), counter), Some(20));
+    m.validate().unwrap();
+}
+
+#[test]
+fn false_sharing_ping_pongs_large_pages() {
+    // Two writers striding disjoint words of the SAME pages: with VMP's
+    // large cache pages this is pure false sharing — ownership ping-pongs
+    // even though no word is actually shared.
+    let mut config = MachineConfig::small();
+    config.processors = 2;
+    config.validate_each_step = false;
+    config.max_time = Nanos::from_ms(60_000);
+    let page = config.cache.page_size().bytes();
+    let mut m = Machine::build(config).unwrap();
+    // CPU 0 writes even words, CPU 1 odd words of the same two pages.
+    m.set_program(0, SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 8, 8, 6, true)).unwrap();
+    m.set_program(1, SweepWorker::new(VirtAddr::new(0x4004), 2 * page / 8, 8, 6, true)).unwrap();
+    let report = m.run().unwrap();
+    let invalidations: u64 = report.processors.iter().map(|p| p.invalidations).sum();
+    assert!(
+        invalidations > 10,
+        "false sharing must ping-pong ownership, got {invalidations} invalidations"
+    );
+    m.validate().unwrap();
+}
+
+#[test]
+fn baselines_agree_on_private_data_and_disagree_on_shared_writes() {
+    // Purely private accesses: both protocols settle to zero steady-state
+    // traffic. Shared writes: snoopy pays per write, ownership per
+    // migration.
+    let private: Vec<Access> = (0..1000)
+        .map(|i| Access { cpu: (i % 2) as usize, addr: (i % 2) as u64 * 0x10000 + (i as u64 % 64) * 4, write: i % 3 == 0 })
+        .collect();
+    let mut snoopy = SnoopySystem::new(2, 16);
+    let mut vmp = OwnershipSystem::new(2, PageSize::S256);
+    for &a in &private {
+        snoopy.access(a);
+        vmp.access(a);
+    }
+    assert_eq!(snoopy.traffic().word_ops, 0);
+    assert_eq!(vmp.traffic().invalidations, 0);
+
+    let shared: Vec<Access> =
+        (0..100).map(|i| Access { cpu: (i % 2) as usize, addr: 0, write: true }).collect();
+    let mut snoopy = SnoopySystem::new(2, 16);
+    let mut vmp = OwnershipSystem::new(2, PageSize::S256);
+    for &a in &shared {
+        snoopy.access(a);
+        vmp.access(a);
+    }
+    assert!(snoopy.traffic().word_ops >= 98, "every shared write broadcasts");
+    assert!(
+        vmp.traffic().block_transfers >= 99,
+        "alternating writers migrate the page every access"
+    );
+}
+
+#[test]
+fn scaling_degrades_gracefully() {
+    // More processors on one bus: aggregate throughput rises, per-CPU
+    // performance falls — no collapse, no deadlock.
+    let run = |n: usize| {
+        let mut config = MachineConfig::default();
+        config.processors = n;
+        config.memory_bytes = 4 * 1024 * 1024;
+        config.cpu.page_fault = Nanos::ZERO;
+        config.max_time = Nanos::from_ms(60_000);
+        let mut m = Machine::build(config).unwrap();
+        for cpu in 0..n {
+            let asid = Asid::new(cpu as u8 + 1);
+            m.set_asid(cpu, asid).unwrap();
+            let refs = AtumWorkload::new(AtumParams::default(), cpu as u64).take(6_000).map(
+                move |mut r| {
+                    r.asid = asid;
+                    r
+                },
+            );
+            m.set_program(cpu, TraceProgram::new(refs)).unwrap();
+        }
+        let report = m.run().unwrap();
+        m.validate().unwrap();
+        let mean_perf: f64 =
+            report.processors.iter().map(|p| p.performance()).sum::<f64>() / n as f64;
+        (mean_perf, report.bus_utilization())
+    };
+    let (p1, b1) = run(1);
+    let (p6, b6) = run(6);
+    assert!(p6 <= p1 + 0.02, "per-cpu performance must not improve with contention");
+    assert!(b6 > b1, "bus utilization must grow with processors");
+    assert!(p6 > 0.05, "no collapse");
+}
