@@ -105,10 +105,7 @@ impl MissCostModel {
     ///
     /// Panics unless `clean_fraction` is within `[0, 1]`.
     pub fn average(&self, clean_fraction: f64) -> AverageMissCost {
-        assert!(
-            (0.0..=1.0).contains(&clean_fraction),
-            "clean fraction must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&clean_fraction), "clean fraction must be a probability");
         let mix = |clean: Nanos, dirty: Nanos| {
             let ns = clean.as_ns() as f64 * clean_fraction
                 + dirty.as_ns() as f64 * (1.0 - clean_fraction);

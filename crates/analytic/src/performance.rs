@@ -92,10 +92,16 @@ mod tests {
         // directly (the miss ratio itself depends on page size).
         let p = ProcessorModel::default();
         let m = 0.005;
-        let perf128 =
-            processor_performance(m, MissCostModel::paper(PageSize::S128).average(0.75).elapsed, &p);
-        let perf512 =
-            processor_performance(m, MissCostModel::paper(PageSize::S512).average(0.75).elapsed, &p);
+        let perf128 = processor_performance(
+            m,
+            MissCostModel::paper(PageSize::S128).average(0.75).elapsed,
+            &p,
+        );
+        let perf512 = processor_performance(
+            m,
+            MissCostModel::paper(PageSize::S512).average(0.75).elapsed,
+            &p,
+        );
         assert!(perf128 > perf512);
     }
 

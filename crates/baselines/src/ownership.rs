@@ -136,7 +136,7 @@ impl CoherenceModel for OwnershipSystem {
                     PageState::Private { owner: a.cpu, dirty: true }
                 } else {
                     self.charge_block(); // read-shared by requester
-                    // The previous owner downgrades and keeps a shared copy.
+                                         // The previous owner downgrades and keeps a shared copy.
                     PageState::Shared(HashSet::from([owner, a.cpu]))
                 }
             }

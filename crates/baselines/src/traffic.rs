@@ -85,11 +85,7 @@ mod tests {
 
     #[test]
     fn per_access_time() {
-        let t = TrafficStats {
-            accesses: 10,
-            bus_time: Nanos::from_ns(1000),
-            ..Default::default()
-        };
+        let t = TrafficStats { accesses: 10, bus_time: Nanos::from_ns(1000), ..Default::default() };
         assert!((t.bus_time_per_access() - 100.0).abs() < 1e-12);
         assert_eq!(TrafficStats::default().bus_time_per_access(), 0.0);
         assert!(!t.to_string().is_empty());
@@ -141,10 +137,8 @@ mod interleave_tests {
 
     #[test]
     fn unequal_lengths_drain_fully() {
-        let a: Trace =
-            (0..3).map(|i| MemRef::read(Asid::new(1), VirtAddr::new(i * 4))).collect();
-        let b: Trace =
-            (0..1).map(|i| MemRef::write(Asid::new(1), VirtAddr::new(i))).collect();
+        let a: Trace = (0..3).map(|i| MemRef::read(Asid::new(1), VirtAddr::new(i * 4))).collect();
+        let b: Trace = (0..1).map(|i| MemRef::write(Asid::new(1), VirtAddr::new(i))).collect();
         let s = interleave(&[a, b]);
         assert_eq!(s.len(), 4);
         assert_eq!(s.iter().filter(|a| a.cpu == 0).count(), 3);

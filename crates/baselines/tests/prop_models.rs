@@ -6,8 +6,11 @@ use vmp_types::PageSize;
 
 fn arb_stream(cpus: usize) -> impl Strategy<Value = Vec<Access>> {
     proptest::collection::vec(
-        (0..cpus, 0u64..4096, any::<bool>())
-            .prop_map(|(cpu, addr, write)| Access { cpu, addr, write }),
+        (0..cpus, 0u64..4096, any::<bool>()).prop_map(|(cpu, addr, write)| Access {
+            cpu,
+            addr,
+            write,
+        }),
         0..400,
     )
 }

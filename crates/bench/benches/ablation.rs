@@ -3,25 +3,39 @@
 //! software hint, and the sensitivity of the whole design to the
 //! software handler's speed (§7: "faster processors reduce the speed
 //! advantage of implementing complex control logic in hardware").
+//!
+//! The trace-driven sweeps share one generated trace and fan out on the
+//! [`vmp_sweep`] pool; results return in submission order so the tables
+//! match the sequential run exactly.
+
+use std::sync::Arc;
 
 use vmp_analytic::{processor_performance, render_table, MissCostModel, ProcessorModel};
 use vmp_bench::{banner, simulate_miss_ratio, standard_trace};
 use vmp_cache::{CacheConfig, TagCache};
 use vmp_core::{Machine, MachineConfig, Op, ScriptProgram};
+use vmp_sweep::{SweepJob, SweepPool};
+use vmp_trace::Trace;
 use vmp_types::{Asid, Nanos, PageSize, VirtAddr};
 
-fn associativity_sweep() {
+fn associativity_sweep(trace: &Arc<Trace>) {
     println!("-- associativity (256B pages, 128 KB, cold start) --\n");
-    let trace = standard_trace();
-    let mut rows = Vec::new();
-    for assoc in [1usize, 2, 4] {
-        let s = simulate_miss_ratio(PageSize::S256, assoc, 128 * 1024, &trace);
-        rows.push(vec![
-            format!("{assoc}-way"),
-            format!("{:.3}%", 100.0 * s.miss_ratio()),
-            s.misses.to_string(),
-        ]);
-    }
+    let jobs: Vec<SweepJob<usize>> =
+        [1usize, 2, 4].iter().map(|&a| SweepJob::new(format!("{a}-way"), a)).collect();
+    let shared = Arc::clone(trace);
+    let stats = SweepPool::new()
+        .run(jobs, move |job| simulate_miss_ratio(PageSize::S256, job.input, 128 * 1024, &shared));
+    let rows: Vec<Vec<String>> = [1usize, 2, 4]
+        .iter()
+        .zip(&stats)
+        .map(|(assoc, s)| {
+            vec![
+                format!("{assoc}-way"),
+                format!("{:.3}%", 100.0 * s.miss_ratio()),
+                s.misses.to_string(),
+            ]
+        })
+        .collect();
     println!("{}", render_table(&["assoc", "miss ratio", "misses"], &rows));
     println!(
         "the paper fixes 4-way for its studies; lower associativity adds\n\
@@ -32,8 +46,7 @@ fn associativity_sweep() {
 fn hint_ablation() {
     println!("-- §5.4 non-shared hint: read-then-write over 64 private pages --\n");
     let run = |hint: bool| {
-        let mut config = MachineConfig::default();
-        config.processors = 1;
+        let mut config = MachineConfig { processors: 1, ..MachineConfig::default() };
         config.cpu.page_fault = Nanos::ZERO;
         let mut m = Machine::build(config).unwrap();
         let asid = Asid::new(1);
@@ -90,16 +103,19 @@ fn handler_speed_sensitivity() {
     );
 }
 
-fn page_size_beyond_prototype() {
+fn page_size_beyond_prototype(trace: &Arc<Trace>) {
     println!("-- page sizes beyond the prototype (4-way, 128 KB) --\n");
-    let trace = standard_trace();
+    let pages: Vec<PageSize> =
+        [64u64, 128, 256, 512, 1024].iter().map(|&b| PageSize::new(b).unwrap()).collect();
+    let jobs: Vec<SweepJob<PageSize>> =
+        pages.iter().map(|&p| SweepJob::new(p.to_string(), p)).collect();
+    let shared = Arc::clone(trace);
+    let stats = SweepPool::new()
+        .run(jobs, move |job| simulate_miss_ratio(job.input, 4, 128 * 1024, &shared));
     let mut rows = Vec::new();
-    for bytes in [64u64, 128, 256, 512, 1024] {
-        let page = PageSize::new(bytes).unwrap();
-        let s = simulate_miss_ratio(page, 4, 128 * 1024, &trace);
-        let avg = MissCostModel::paper(page).average(0.75);
-        let perf =
-            processor_performance(s.miss_ratio(), avg.elapsed, &ProcessorModel::default());
+    for (page, s) in pages.iter().zip(&stats) {
+        let avg = MissCostModel::paper(*page).average(0.75);
+        let perf = processor_performance(s.miss_ratio(), avg.elapsed, &ProcessorModel::default());
         rows.push(vec![
             page.to_string(),
             format!("{:.3}%", 100.0 * s.miss_ratio()),
@@ -107,22 +123,18 @@ fn page_size_beyond_prototype() {
             format!("{:.1}%", 100.0 * perf),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["page", "miss ratio", "avg miss us", "net cpu perf"], &rows)
-    );
+    println!("{}", render_table(&["page", "miss ratio", "avg miss us", "net cpu perf"], &rows));
     println!(
         "the product of falling miss ratio and rising per-miss cost has an\n\
          optimum near the paper's 256-512 B choice for this workload."
     );
 }
 
-fn asid_vs_flush_on_switch() {
+fn asid_vs_flush_on_switch(trace: &Trace) {
     println!("-- ASID tags vs flush-on-context-switch (256B, 128 KB, 4-way) --\n");
     // A conventional virtually-addressed cache without ASID tags must be
     // flushed whenever the address space changes (§2 footnote 1). Replay
     // the same multiprogrammed trace both ways.
-    let trace = standard_trace();
     let config = CacheConfig::new(PageSize::S256, 4, 128 * 1024).unwrap();
 
     // VMP: ASIDs in the tags, no flushes.
@@ -164,9 +176,11 @@ fn asid_vs_flush_on_switch() {
 
 fn main() {
     banner("Ablations — associativity, hint, handler speed, page size, ASIDs", "§4, §5.4, §7");
-    associativity_sweep();
+    // One trace, generated once, shared by every trace-driven section.
+    let trace = Arc::new(standard_trace());
+    associativity_sweep(&trace);
     hint_ablation();
     handler_speed_sensitivity();
-    page_size_beyond_prototype();
-    asid_vs_flush_on_switch();
+    page_size_beyond_prototype(&trace);
+    asid_vs_flush_on_switch(&trace);
 }

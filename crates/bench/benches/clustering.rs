@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use vmp_analytic::{processor_performance, render_table, MissCostModel, ProcessorModel};
 use vmp_bench::banner;
 use vmp_cache::{CacheConfig, TagCache};
+use vmp_sweep::{SweepJob, SweepPool};
 use vmp_trace::synth::{Layout, RecordTraversal};
 use vmp_types::{Asid, PageSize};
 
@@ -18,14 +19,8 @@ const REFS: usize = 200_000;
 
 fn run(page: PageSize, layout: Layout) -> f64 {
     // Zipf-skewed record popularity (s = 0.8): key-lookup-like traffic.
-    let mut gen = RecordTraversal::with_skew(
-        Asid::new(1),
-        0x10_0000,
-        RECORDS,
-        RECORD_BYTES,
-        layout,
-        0.8,
-    );
+    let mut gen =
+        RecordTraversal::with_skew(Asid::new(1), 0x10_0000, RECORDS, RECORD_BYTES, layout, 0.8);
     let mut rng = StdRng::seed_from_u64(7);
     let mut cache = TagCache::new(CacheConfig::new(page, 4, 64 * 1024).unwrap());
     for _ in 0..REFS {
@@ -42,10 +37,20 @@ fn main() {
          dense side array (what a clustering-aware compiler would emit).\n"
     );
     let proc = ProcessorModel::default();
+    // Each (page, layout) cell is an independent trace+cache run: fan
+    // the grid out on the sweep pool, then pair scattered/packed cells.
+    let jobs: Vec<SweepJob<(PageSize, Layout)>> = PageSize::PROTOTYPE_SIZES
+        .iter()
+        .flat_map(|&page| {
+            [Layout::Scattered, Layout::Packed]
+                .map(|layout| SweepJob::new(format!("{page}/{layout:?}"), (page, layout)))
+        })
+        .collect();
+    let ratios = SweepPool::new().run(jobs, |job| run(job.input.0, job.input.1));
     let mut rows = Vec::new();
-    for page in PageSize::PROTOTYPE_SIZES {
-        let scattered = run(page, Layout::Scattered);
-        let packed = run(page, Layout::Packed);
+    for (i, page) in PageSize::PROTOTYPE_SIZES.into_iter().enumerate() {
+        let scattered = ratios[2 * i];
+        let packed = ratios[2 * i + 1];
         let avg = MissCostModel::paper(page).average(0.75);
         let perf_s = processor_performance(scattered, avg.elapsed, &proc);
         let perf_p = processor_performance(packed, avg.elapsed, &proc);
@@ -59,10 +64,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["page", "scattered miss", "packed miss", "improvement", "cpu perf"],
-            &rows
-        )
+        render_table(&["page", "scattered miss", "packed miss", "improvement", "cpu perf"], &rows)
     );
     println!(
         "expected shape: the scattered layout wastes most of every large page\n\

@@ -10,6 +10,7 @@ use vmp_analytic::render_table;
 use vmp_bench::banner;
 use vmp_core::workloads::{LockDiscipline, LockWorker, UncachedLockWorker};
 use vmp_core::{Machine, MachineConfig};
+use vmp_sweep::{SweepJob, SweepPool};
 use vmp_types::{Nanos, VirtAddr};
 
 struct Outcome {
@@ -27,9 +28,11 @@ enum Discipline {
 }
 
 fn run(discipline: Discipline, cpus: usize, iterations: u64) -> Outcome {
-    let mut config = MachineConfig::default();
-    config.processors = cpus;
-    config.max_time = Nanos::from_ms(60_000);
+    let config = MachineConfig {
+        processors: cpus,
+        max_time: Nanos::from_ms(60_000),
+        ..MachineConfig::default()
+    };
     let mut m = Machine::build(config).unwrap();
     let lock = VirtAddr::new(0x1000);
     let counter = VirtAddr::new(0x2000);
@@ -88,14 +91,27 @@ fn main() {
     );
 
     let iterations = 40;
-    let mut rows = Vec::new();
+    // Each (cpu count, discipline) cell is an independent machine run:
+    // fan the grid out on the sweep pool, collect in submission order.
+    let mut jobs = Vec::new();
     for cpus in [2usize, 4] {
         for (name, d) in [
             ("tas-spin", Discipline::Cached(LockDiscipline::Spin)),
             ("notify", Discipline::Cached(LockDiscipline::Notify)),
             ("uncached", Discipline::Uncached),
         ] {
-            let o = run(d, cpus, iterations);
+            jobs.push(SweepJob::new(format!("{cpus}cpu/{name}"), (cpus, name, d)));
+        }
+    }
+    let outcomes = SweepPool::new().run(jobs, |job| {
+        let (cpus, _, d) = job.input;
+        run(d, cpus, iterations)
+    });
+    let mut rows = Vec::new();
+    let mut cells = outcomes.iter();
+    for cpus in [2usize, 4] {
+        for name in ["tas-spin", "notify", "uncached"] {
+            let o = cells.next().expect("one outcome per job");
             rows.push(vec![
                 cpus.to_string(),
                 name.to_string(),

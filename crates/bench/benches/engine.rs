@@ -1,0 +1,105 @@
+//! Engine throughput: how fast the simulator itself runs.
+//!
+//! Unlike the other harnesses (which regenerate the paper's tables),
+//! this one measures the *reproduction's* performance so optimization
+//! work has a recorded trajectory (see EXPERIMENTS.md):
+//!
+//! * tag-cache simulation throughput, in simulated references/second;
+//! * full event-driven machine throughput, in references/second;
+//! * end-to-end wall time of the fig. 4 geometry sweep, sequential
+//!   versus on the [`vmp_sweep`] pool with all cores.
+//!
+//! `cargo bench -p vmp-bench --bench engine -- --test` runs a smoke
+//! variant on a short trace (used by CI).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vmp_bench::{banner, simulate_miss_ratio, standard_trace, TRACE_SEED};
+use vmp_core::{Machine, MachineConfig, TraceProgram};
+use vmp_sweep::{SweepJob, SweepPool};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_trace::Trace;
+use vmp_types::{Nanos, PageSize};
+
+fn tag_refs_per_sec(trace: &Trace, repeats: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let s = simulate_miss_ratio(PageSize::S256, 4, 128 * 1024, trace);
+        assert_eq!(s.refs as usize, trace.len());
+    }
+    (trace.len() * repeats) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn machine_refs_per_sec(refs: usize) -> f64 {
+    let mut config = MachineConfig {
+        processors: 1,
+        max_time: Nanos::from_ms(120_000),
+        ..MachineConfig::default()
+    };
+    config.cpu.page_fault = Nanos::ZERO;
+    let mut m = Machine::build(config).unwrap();
+    let workload = AtumWorkload::new(AtumParams::default(), TRACE_SEED).take(refs);
+    m.set_program(0, TraceProgram::new(workload)).unwrap();
+    let start = Instant::now();
+    let report = m.run().unwrap();
+    assert_eq!(report.processors[0].refs as usize, refs);
+    refs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The fig. 4 geometry grid as sweep jobs.
+fn grid_jobs() -> Vec<SweepJob<(u64, PageSize)>> {
+    [64u64, 128, 256]
+        .iter()
+        .flat_map(|&kb| {
+            PageSize::PROTOTYPE_SIZES
+                .map(|page| SweepJob::new(format!("{kb}KB/{page}"), (kb, page)))
+        })
+        .collect()
+}
+
+fn sweep_wall(trace: &Arc<Trace>, threads: usize) -> (f64, Vec<u64>) {
+    let shared = Arc::clone(trace);
+    let start = Instant::now();
+    let stats = SweepPool::new().threads(threads).run(grid_jobs(), move |job| {
+        simulate_miss_ratio(job.input.1, 4, job.input.0 * 1024, &shared)
+    });
+    (start.elapsed().as_secs_f64(), stats.iter().map(|s| s.misses).collect())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    banner("Engine throughput — simulator speed, not paper numbers", "n/a (perf harness)");
+
+    let trace = Arc::new(if smoke {
+        AtumWorkload::new(AtumParams::default(), TRACE_SEED).take(20_000).collect::<Trace>()
+    } else {
+        standard_trace()
+    });
+    let repeats = if smoke { 1 } else { 3 };
+
+    let tag = tag_refs_per_sec(&trace, repeats);
+    println!("tag-cache simulation:  {:.2}M simulated refs/s (256B/128KB/4-way)", tag / 1e6);
+
+    let machine_refs = if smoke { 10_000 } else { 200_000 };
+    let machine = machine_refs_per_sec(machine_refs);
+    println!(
+        "event-driven machine:  {:.2}M simulated refs/s (1 cpu, {machine_refs} refs)",
+        machine / 1e6
+    );
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (seq_wall, seq_misses) = sweep_wall(&trace, 1);
+    let (par_wall, par_misses) = sweep_wall(&trace, cores);
+    assert_eq!(seq_misses, par_misses, "parallel sweep must be bit-identical");
+    let grid_refs = trace.len() as u64 * seq_misses.len() as u64;
+    println!(
+        "fig4 sweep ({} cells, {grid_refs} refs): {seq_wall:.2}s sequential, \
+         {par_wall:.2}s on {cores} thread(s) ({:.1}x)",
+        seq_misses.len(),
+        seq_wall / par_wall.max(1e-9)
+    );
+    if smoke {
+        println!("smoke mode: ok");
+    }
+}

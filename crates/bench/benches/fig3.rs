@@ -20,10 +20,7 @@ fn main() {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["miss ratio", "perf @128B", "perf @256B", "perf @512B"], &rows)
-    );
+    println!("{}", render_table(&["miss ratio", "perf @128B", "perf @256B", "perf @512B"], &rows));
     let avg256 = MissCostModel::paper(PageSize::S256).average(0.75);
     let example = processor_performance(0.0024, avg256.elapsed, &proc);
     println!(

@@ -2,15 +2,23 @@
 //! three cache page sizes — the trace-driven simulation of §5.2, run on
 //! the synthetic ATUM-like workload (the original VAX 8200 ATUM traces
 //! are DEC-proprietary; see DESIGN.md for the substitution).
+//!
+//! The 3×3 geometry grid runs on the [`vmp_sweep`] pool: one trace is
+//! generated once and shared read-only across workers, and results come
+//! back in submission order, so the table is identical for any
+//! `VMP_THREADS` setting.
+
+use std::sync::Arc;
 
 use vmp_analytic::render_table;
 use vmp_bench::{banner, simulate_miss_ratio, standard_trace};
+use vmp_sweep::{SweepJob, SweepPool};
 use vmp_types::PageSize;
 
 fn main() {
     banner("Figure 4 — Cache Miss Ratio vs Cache Size (cold start, 4-way)", "Figure 4");
 
-    let trace = standard_trace();
+    let trace = Arc::new(standard_trace());
     let stats = trace.stats();
     println!(
         "workload: {} references, {} address spaces, footprint {} KB, \
@@ -22,25 +30,37 @@ fn main() {
     );
 
     let sizes_kb = [64u64, 128, 256];
+    let jobs: Vec<SweepJob<(u64, PageSize)>> = sizes_kb
+        .iter()
+        .flat_map(|&kb| {
+            PageSize::PROTOTYPE_SIZES
+                .map(|page| SweepJob::new(format!("{kb}KB/{page}"), (kb, page)))
+        })
+        .collect();
+    let pool = SweepPool::new();
+    let shared = Arc::clone(&trace);
+    let cells = pool.run(jobs, move |job| {
+        let (kb, page) = job.input;
+        simulate_miss_ratio(page, 4, kb * 1024, &shared)
+    });
+
+    let pages_per_row = PageSize::PROTOTYPE_SIZES.len();
     let mut rows = Vec::new();
-    for kb in sizes_kb {
+    for (i, &kb) in sizes_kb.iter().enumerate() {
         let mut row = vec![format!("{kb} KB")];
-        for page in PageSize::PROTOTYPE_SIZES {
-            let s = simulate_miss_ratio(page, 4, kb * 1024, &trace);
+        for s in &cells[i * pages_per_row..(i + 1) * pages_per_row] {
             row.push(format!("{:.3}%", 100.0 * s.miss_ratio()));
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["cache size", "miss @128B", "miss @256B", "miss @512B"], &rows)
-    );
+    println!("{}", render_table(&["cache size", "miss @128B", "miss @256B", "miss @512B"], &rows));
 
-    let ref_point = simulate_miss_ratio(PageSize::S256, 4, 128 * 1024, &trace);
-    println!(
-        "reference point 256B/128KB: {:.3}% (paper: 0.24%)",
-        100.0 * ref_point.miss_ratio()
-    );
+    // 256B/128KB is the grid's centre cell — reuse it rather than
+    // re-simulating the geometry.
+    let ref_idx = sizes_kb.iter().position(|&kb| kb == 128).unwrap() * pages_per_row
+        + PageSize::PROTOTYPE_SIZES.iter().position(|&p| p == PageSize::S256).unwrap();
+    let ref_point = &cells[ref_idx];
+    println!("reference point 256B/128KB: {:.3}% (paper: 0.24%)", 100.0 * ref_point.miss_ratio());
     println!(
         "OS references: {:.1}% of refs, {:.1}% of misses (paper: ~25% / ~50%)",
         100.0 * (stats.supervisor as f64 / stats.total as f64),

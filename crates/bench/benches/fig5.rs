@@ -20,10 +20,7 @@ fn main() {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["miss ratio", "bus @128B", "bus @256B", "bus @512B"], &rows)
-    );
+    println!("{}", render_table(&["miss ratio", "bus @128B", "bus @256B", "bus @512B"], &rows));
     let avg = MissCostModel::paper(PageSize::S256).average(0.75);
     println!(
         "paper's checkpoint: 256B pages at 0.6% miss ratio -> {:.1}% bus \

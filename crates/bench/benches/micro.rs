@@ -11,11 +11,7 @@ use vmp_types::{Nanos, PageSize};
 
 fn bench_trace_generation(c: &mut Criterion) {
     c.bench_function("atum_workload_10k_refs", |b| {
-        b.iter(|| {
-            AtumWorkload::new(AtumParams::default(), TRACE_SEED)
-                .take(10_000)
-                .count()
-        })
+        b.iter(|| AtumWorkload::new(AtumParams::default(), TRACE_SEED).take(10_000).count())
     });
 }
 
@@ -39,9 +35,11 @@ fn bench_tag_cache(c: &mut Criterion) {
 fn bench_machine(c: &mut Criterion) {
     c.bench_function("machine_2cpu_5k_refs", |b| {
         b.iter(|| {
-            let mut config = MachineConfig::default();
-            config.processors = 2;
-            config.max_time = Nanos::from_ms(60_000);
+            let config = MachineConfig {
+                processors: 2,
+                max_time: Nanos::from_ms(60_000),
+                ..MachineConfig::default()
+            };
             let mut m = Machine::build(config).unwrap();
             for cpu in 0..2 {
                 let refs =

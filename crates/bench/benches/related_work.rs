@@ -102,10 +102,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["true sharing", "MIPS-X flush bus", "VMP demand bus", "overhead"],
-            &rows
-        )
+        render_table(&["true sharing", "MIPS-X flush bus", "VMP demand bus", "overhead"], &rows)
     );
     println!(
         "expected shape: anticipatory flushing costs the same regardless of\n\

@@ -11,14 +11,16 @@ use vmp_types::{Nanos, PageSize, VirtAddr};
 
 /// Stall time accumulated by a one-CPU machine running `ops`.
 fn run_stall(page: PageSize, ops: Vec<Op>) -> Nanos {
-    let mut config = MachineConfig::default();
-    config.processors = 1;
     // Direct-mapped two-set cache: the data pages A and B below map to
     // set 1 and conflict with each other, while the kernel PTE page maps
     // to set 0 and stays resident — so the final access is a pure
     // conflict miss with a warm page table.
-    config.cache = vmp_cache::CacheConfig::new(page, 1, page.bytes() * 2).unwrap();
-    config.memory_bytes = 64 * 1024;
+    let config = MachineConfig {
+        processors: 1,
+        cache: vmp_cache::CacheConfig::new(page, 1, page.bytes() * 2).unwrap(),
+        memory_bytes: 64 * 1024,
+        ..MachineConfig::default()
+    };
     let mut m = Machine::build(config).unwrap();
     m.set_program(0, ScriptProgram::new(ops)).unwrap();
     m.run().unwrap();

@@ -27,10 +27,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["page", "elapsed us (model)", "paper", "bus us (model)", "paper"],
-            &rows
-        )
+        render_table(&["page", "elapsed us (model)", "paper", "bus us (model)", "paper"], &rows)
     );
 
     // Check the assumed mix against the trace-driven simulation.

@@ -6,13 +6,16 @@
 //! vmp-trace-tool convert trace.vmpt trace.txt
 //! vmp-trace-tool analyze trace.vmpt
 //! vmp-trace-tool simulate trace.vmpt --page 256 --assoc 4 --kb 128
+//! vmp-trace-tool sweep trace.vmpt --assoc 4   # full geometry grid, parallel
 //! ```
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use vmp_cache::{classify_misses, CacheConfig};
+use vmp_sweep::{SweepJob, SweepPool};
 use vmp_trace::synth::{AtumParams, AtumWorkload};
 use vmp_trace::{
     read_binary, read_text, reuse_distances, working_set_sizes, write_binary, write_text, Trace,
@@ -24,8 +27,11 @@ fn usage() -> ExitCode {
         "usage:\n  vmp-trace-tool generate [--refs N] [--seed S] --out FILE\n  \
          vmp-trace-tool convert IN OUT\n  \
          vmp-trace-tool analyze FILE [--page BYTES]\n  \
-         vmp-trace-tool simulate FILE [--page BYTES] [--assoc N] [--kb N]\n\n\
-         files ending in .txt use the text format; anything else is binary"
+         vmp-trace-tool simulate FILE [--page BYTES] [--assoc N] [--kb N]\n  \
+         vmp-trace-tool sweep FILE [--assoc N] [--threads N]\n\n\
+         files ending in .txt use the text format; anything else is binary;\n\
+         sweep runs the full page-size x cache-size grid in parallel\n\
+         (thread count: --threads, else VMP_THREADS, else all cores)"
     );
     ExitCode::FAILURE
 }
@@ -55,7 +61,8 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn parse_page(args: &[String]) -> Result<PageSize, String> {
-    let bytes: u64 = flag(args, "--page").unwrap_or_else(|| "256".into())
+    let bytes: u64 = flag(args, "--page")
+        .unwrap_or_else(|| "256".into())
         .parse()
         .map_err(|e| format!("bad --page: {e}"))?;
     PageSize::new(bytes).map_err(|e| e.to_string())
@@ -65,10 +72,12 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("generate") => {
-            let refs: usize = flag(&args, "--refs").unwrap_or_else(|| "400000".into())
+            let refs: usize = flag(&args, "--refs")
+                .unwrap_or_else(|| "400000".into())
                 .parse()
                 .map_err(|e| format!("bad --refs: {e}"))?;
-            let seed: u64 = flag(&args, "--seed").unwrap_or_else(|| "1986".into())
+            let seed: u64 = flag(&args, "--seed")
+                .unwrap_or_else(|| "1986".into())
                 .parse()
                 .map_err(|e| format!("bad --seed: {e}"))?;
             let out = flag(&args, "--out").ok_or("generate requires --out FILE")?;
@@ -111,10 +120,12 @@ fn run() -> Result<(), String> {
         Some("simulate") => {
             let input = args.get(1).ok_or("simulate requires FILE")?;
             let page = parse_page(&args)?;
-            let assoc: usize = flag(&args, "--assoc").unwrap_or_else(|| "4".into())
+            let assoc: usize = flag(&args, "--assoc")
+                .unwrap_or_else(|| "4".into())
                 .parse()
                 .map_err(|e| format!("bad --assoc: {e}"))?;
-            let kb: u64 = flag(&args, "--kb").unwrap_or_else(|| "128".into())
+            let kb: u64 = flag(&args, "--kb")
+                .unwrap_or_else(|| "128".into())
                 .parse()
                 .map_err(|e| format!("bad --kb: {e}"))?;
             let config = CacheConfig::new(page, assoc, kb * 1024).map_err(|e| e.to_string())?;
@@ -128,6 +139,60 @@ fn run() -> Result<(), String> {
                 c.conflict,
                 c.total_misses(),
                 c.refs
+            );
+            Ok(())
+        }
+        Some("sweep") => {
+            let input = args.get(1).ok_or("sweep requires FILE")?;
+            let assoc: usize = flag(&args, "--assoc")
+                .unwrap_or_else(|| "4".into())
+                .parse()
+                .map_err(|e| format!("bad --assoc: {e}"))?;
+            let trace = Arc::new(load(input)?);
+
+            let mut pool = SweepPool::new();
+            if let Some(n) = flag(&args, "--threads") {
+                pool = pool.threads(n.parse().map_err(|e| format!("bad --threads: {e}"))?);
+            }
+            let mut jobs = Vec::new();
+            for kb in [64u64, 128, 256] {
+                for page in PageSize::PROTOTYPE_SIZES {
+                    let config =
+                        CacheConfig::new(page, assoc, kb * 1024).map_err(|e| e.to_string())?;
+                    jobs.push(SweepJob::new(format!("{kb}KB/{page}"), config));
+                }
+            }
+            println!(
+                "sweeping {} geometries over {} references on {} thread(s)",
+                jobs.len(),
+                trace.len(),
+                pool.effective_threads()
+            );
+            let shared = Arc::clone(&trace);
+            let start = std::time::Instant::now();
+            let results =
+                pool.run(jobs, move |job| classify_misses(job.input, shared.iter().copied()));
+            let wall = start.elapsed();
+            let mut labels = Vec::new();
+            for kb in [64u64, 128, 256] {
+                for page in PageSize::PROTOTYPE_SIZES {
+                    labels.push(format!("{kb:3} KB @ {page}"));
+                }
+            }
+            for (label, c) in labels.iter().zip(&results) {
+                println!(
+                    "  {label}: miss {:.3}% (cold {} + capacity {} + conflict {})",
+                    100.0 * c.miss_ratio(),
+                    c.cold,
+                    c.capacity,
+                    c.conflict
+                );
+            }
+            let total_refs = trace.len() as u64 * results.len() as u64;
+            println!(
+                "swept {total_refs} simulated references in {:.2}s ({:.1}M refs/s)",
+                wall.as_secs_f64(),
+                total_refs as f64 / wall.as_secs_f64() / 1e6
             );
             Ok(())
         }

@@ -29,7 +29,12 @@ pub fn standard_trace() -> Trace {
 
 /// Cold-start miss-ratio simulation of one cache geometry over a trace
 /// (the Figure 4 primitive).
-pub fn simulate_miss_ratio(page: PageSize, assoc: usize, total_bytes: u64, trace: &Trace) -> CacheSimStats {
+pub fn simulate_miss_ratio(
+    page: PageSize,
+    assoc: usize,
+    total_bytes: u64,
+    trace: &Trace,
+) -> CacheSimStats {
     let config = CacheConfig::new(page, assoc, total_bytes).expect("valid geometry");
     let mut cache = TagCache::new(config);
     cache.run(trace.iter().copied())

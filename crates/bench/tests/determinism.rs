@@ -1,0 +1,72 @@
+//! The sweep engine's core guarantee: output is bit-identical no matter
+//! how many worker threads execute the jobs.
+
+use std::sync::Arc;
+
+use vmp_bench::simulate_miss_ratio;
+use vmp_sweep::{SweepJob, SweepPool};
+use vmp_trace::synth::{AtumParams, AtumWorkload};
+use vmp_trace::Trace;
+use vmp_types::PageSize;
+
+fn short_trace() -> Arc<Trace> {
+    Arc::new(AtumWorkload::new(AtumParams::default(), 1986).take(30_000).collect())
+}
+
+fn grid_jobs() -> Vec<SweepJob<(u64, PageSize)>> {
+    [64u64, 128]
+        .iter()
+        .flat_map(|&kb| {
+            PageSize::PROTOTYPE_SIZES
+                .map(|page| SweepJob::new(format!("{kb}KB/{page}"), (kb, page)))
+        })
+        .collect()
+}
+
+/// Full simulation results serialized to exact-integer tuples: any
+/// reordering or cross-thread nondeterminism changes the byte image.
+fn run_grid(trace: &Arc<Trace>, threads: usize) -> Vec<(String, u64, u64, u64, u64)> {
+    let shared = Arc::clone(trace);
+    let labels: Vec<String> = grid_jobs().iter().map(|j| j.label.clone()).collect();
+    let stats = SweepPool::new().threads(threads).run(grid_jobs(), move |job| {
+        simulate_miss_ratio(job.input.1, 4, job.input.0 * 1024, &shared)
+    });
+    labels
+        .into_iter()
+        .zip(stats)
+        .map(|(label, s)| (label, s.refs, s.misses, s.supervisor_refs, s.supervisor_misses))
+        .collect()
+}
+
+#[test]
+fn sweep_is_bit_identical_across_thread_counts() {
+    let trace = short_trace();
+    let reference = run_grid(&trace, 1);
+    for threads in [2, 4, 8] {
+        let got = run_grid(&trace, threads);
+        assert_eq!(got, reference, "threads={threads} diverged from sequential");
+    }
+}
+
+#[test]
+fn env_var_does_not_change_results() {
+    // The pool consults VMP_THREADS only when no explicit override is
+    // set; either way the result vector must match the sequential run.
+    let trace = short_trace();
+    let reference = run_grid(&trace, 1);
+    let default_pool = run_grid_default(&trace);
+    assert_eq!(default_pool, reference);
+}
+
+fn run_grid_default(trace: &Arc<Trace>) -> Vec<(String, u64, u64, u64, u64)> {
+    let shared = Arc::clone(trace);
+    let labels: Vec<String> = grid_jobs().iter().map(|j| j.label.clone()).collect();
+    let stats = SweepPool::new().run(grid_jobs(), move |job| {
+        simulate_miss_ratio(job.input.1, 4, job.input.0 * 1024, &shared)
+    });
+    labels
+        .into_iter()
+        .zip(stats)
+        .map(|(label, s)| (label, s.refs, s.misses, s.supervisor_refs, s.supervisor_misses))
+        .collect()
+}

@@ -74,13 +74,7 @@ impl BusStats {
 
 impl fmt::Display for BusStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "bus: {} tx ({} aborts), busy {}",
-            self.total(),
-            self.aborts,
-            self.busy.busy()
-        )
+        write!(f, "bus: {} tx ({} aborts), busy {}", self.total(), self.aborts, self.busy.busy())
     }
 }
 
@@ -242,7 +236,10 @@ mod tests {
 
     #[test]
     fn block_transfer_durations_match_table1() {
-        assert_eq!(VmeBus::new(PageSize::S128).duration(BusTxKind::ReadShared).as_micros_f64(), 3.4);
+        assert_eq!(
+            VmeBus::new(PageSize::S128).duration(BusTxKind::ReadShared).as_micros_f64(),
+            3.4
+        );
         assert_eq!(VmeBus::new(PageSize::S256).duration(BusTxKind::WriteBack).as_micros_f64(), 6.6);
         assert_eq!(
             VmeBus::new(PageSize::S512).duration(BusTxKind::ReadPrivate).as_micros_f64(),

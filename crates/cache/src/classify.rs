@@ -53,12 +53,7 @@ struct FullyAssociative {
 
 impl FullyAssociative {
     fn new(capacity: usize) -> Self {
-        FullyAssociative {
-            capacity,
-            clock: 0,
-            last_use: HashMap::new(),
-            by_age: BTreeMap::new(),
-        }
+        FullyAssociative { capacity, clock: 0, last_use: HashMap::new(), by_age: BTreeMap::new() }
     }
 
     /// Returns `true` on hit.
@@ -191,8 +186,7 @@ mod tests {
         // Cross-check against TagCache's own miss count on a pseudo-random
         // but deterministic stream.
         let config = CacheConfig::new(PageSize::S256, 2, 4 * 1024).unwrap();
-        let refs: Vec<MemRef> =
-            (0..2000u64).map(|i| read(1, (i * 2654435761) % 16384)).collect();
+        let refs: Vec<MemRef> = (0..2000u64).map(|i| read(1, (i * 2654435761) % 16384)).collect();
         let c = classify_misses(config, refs.clone());
         let mut cache = TagCache::new(config);
         let stats = cache.run(refs);

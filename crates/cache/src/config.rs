@@ -52,7 +52,7 @@ impl CacheConfig {
             return Err(ConfigError::ZeroCount { what: "associativity" });
         }
         let way_bytes = page_size.bytes() * associativity as u64;
-        if total_bytes == 0 || total_bytes % way_bytes != 0 {
+        if total_bytes == 0 || !total_bytes.is_multiple_of(way_bytes) {
             return Err(ConfigError::Inconsistent {
                 what: "total cache size must be a non-zero multiple of page_size * associativity",
             });

@@ -51,10 +51,7 @@ fn miss_ratio_decreases_with_page_size() {
     let m128 = run(PageSize::S128, 128, &t).miss_ratio();
     let m256 = run(PageSize::S256, 128, &t).miss_ratio();
     let m512 = run(PageSize::S512, 128, &t).miss_ratio();
-    assert!(
-        m128 > m256 && m256 > m512,
-        "pages: 128B={m128} 256B={m256} 512B={m512}"
-    );
+    assert!(m128 > m256 && m256 > m512, "pages: 128B={m128} 256B={m256} 512B={m512}");
 }
 
 #[test]

@@ -140,7 +140,7 @@ impl MachineConfig {
         if self.memory_bytes < page {
             return Err(ConfigError::Inconsistent { what: "memory smaller than one cache page" });
         }
-        if self.memory_bytes % page != 0 {
+        if !self.memory_bytes.is_multiple_of(page) {
             return Err(ConfigError::Inconsistent {
                 what: "memory must be a whole number of cache pages",
             });
@@ -173,24 +173,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_configs() {
-        let mut c = MachineConfig::default();
-        c.processors = 0;
+        let c = MachineConfig { processors: 0, ..MachineConfig::default() };
         assert!(c.check().is_err());
-        let mut c = MachineConfig::default();
-        c.memory_bytes = 100;
+        let c = MachineConfig { memory_bytes: 100, ..MachineConfig::default() };
         assert!(c.check().is_err());
-        let mut c = MachineConfig::default();
-        c.memory_bytes = 256 * 3 + 1;
+        let c = MachineConfig { memory_bytes: 256 * 3 + 1, ..MachineConfig::default() };
         assert!(c.check().is_err());
     }
 
     #[test]
     fn cpu_timings_match_analytic_model() {
         let t = CpuTimings::default();
-        assert_eq!(
-            (t.miss_pre + t.miss_mid + t.miss_post).as_micros_f64(),
-            13.6
-        );
+        assert_eq!((t.miss_pre + t.miss_mid + t.miss_post).as_micros_f64(), 13.6);
         assert_eq!(t.upgrade_software, t.miss_pre + t.miss_post);
     }
 }

@@ -75,10 +75,7 @@ impl DmaEngine {
     pub(crate) fn new(id: ProcessorId, host: usize, request: DmaRequest) -> Self {
         assert!(!request.frames.is_empty(), "DMA request needs at least one frame");
         if request.direction == DmaDirection::ToMemory {
-            assert!(
-                !request.data.is_empty(),
-                "ToMemory DMA requires source data"
-            );
+            assert!(!request.data.is_empty(), "ToMemory DMA requires source data");
         }
         DmaEngine {
             id,
@@ -139,11 +136,8 @@ mod tests {
 
     #[test]
     fn engine_sequences() {
-        let mut e = DmaEngine::new(
-            ProcessorId::new(5),
-            0,
-            DmaRequest::from_memory(vec![FrameNum::new(0)]),
-        );
+        let mut e =
+            DmaEngine::new(ProcessorId::new(5), 0, DmaRequest::from_memory(vec![FrameNum::new(0)]));
         assert_eq!(e.phase, DmaPhase::Setup(0));
         assert_eq!(e.bump_seq(), 1);
         assert_eq!(e.seq(), 1);
@@ -154,11 +148,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one frame")]
     fn rejects_empty_request() {
-        let _ = DmaEngine::new(
-            ProcessorId::new(5),
-            0,
-            DmaRequest::from_memory(vec![]),
-        );
+        let _ = DmaEngine::new(ProcessorId::new(5), 0, DmaRequest::from_memory(vec![]));
     }
 
     #[test]

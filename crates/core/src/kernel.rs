@@ -80,8 +80,7 @@ impl Kernel {
         if let Some(pte) = self.translate(asid, vpn) {
             return Ok(pte.frame);
         }
-        let frame =
-            self.allocator.alloc().ok_or(MachineError::OutOfMemory { asid, addr })?;
+        let frame = self.allocator.alloc().ok_or(MachineError::OutOfMemory { asid, addr })?;
         let pte = if asid.is_kernel() { Pte::kernel_rw(frame) } else { Pte::user_rw(frame) };
         self.space_mut(asid).map(vpn, pte);
         Ok(frame)
@@ -151,8 +150,7 @@ impl Kernel {
     /// step, §3.4).
     pub fn reclaim(&mut self, asid: Asid, vpn: VirtPageNum) -> Option<FrameNum> {
         let pte = self.unmap(asid, vpn)?;
-        let shared =
-            self.spaces.values().any(|s| !s.reverse_lookup(pte.frame).is_empty());
+        let shared = self.spaces.values().any(|s| !s.reverse_lookup(pte.frame).is_empty());
         if shared {
             None
         } else {
@@ -171,10 +169,8 @@ impl Kernel {
         };
         let mut freed = Vec::new();
         for (_, pte) in space.iter() {
-            let shared_elsewhere = self
-                .spaces
-                .values()
-                .any(|other| !other.reverse_lookup(pte.frame).is_empty());
+            let shared_elsewhere =
+                self.spaces.values().any(|other| !other.reverse_lookup(pte.frame).is_empty());
             if !shared_elsewhere && self.allocator.free(pte.frame).is_ok() {
                 freed.push(pte.frame);
             }

@@ -12,8 +12,8 @@ use vmp_types::{Asid, FrameNum, Nanos, PageSize, PhysAddr, ProcessorId, VirtAddr
 
 use crate::dma::{DmaDirection, DmaEngine, DmaPhase, DmaRequest};
 use crate::{
-    Kernel, MachineConfig, MachineError, MachineReport, Op, OpResult, PhysIndex,
-    ProcessorStats, Program, TraceProgram,
+    Kernel, MachineConfig, MachineError, MachineReport, Op, OpResult, PhysIndex, ProcessorStats,
+    Program, TraceProgram,
 };
 
 /// Maximum depth of nested page-table misses: the leaf PTE page is
@@ -130,9 +130,16 @@ enum Exec {
 }
 
 enum FetchOutcome {
-    Loaded { slot: SlotId, end: Nanos },
+    Loaded {
+        slot: SlotId,
+        end: Nanos,
+    },
     /// The block-fetch transaction aborted; the victim slot is reserved.
-    TxAborted { at: Nanos, frame: FrameNum, slot: SlotId },
+    TxAborted {
+        at: Nanos,
+        frame: FrameNum,
+        slot: SlotId,
+    },
     /// A nested (translation) step aborted; re-run the whole handler.
     Restart(Nanos),
 }
@@ -192,7 +199,7 @@ impl Machine {
                 cache: DataCache::new(config.cache),
                 monitor: BusMonitor::new(ProcessorId::new(i), frames),
                 local: LocalMemory::default(),
-                phys: PhysIndex::new(),
+                phys: PhysIndex::with_geometry(config.cache.sets(), config.cache.associativity()),
                 program: None,
                 state: CpuState::Halted,
                 pending: None,
@@ -364,7 +371,7 @@ impl Machine {
         let frame = self.kernel.translate(asid, vpn)?.frame;
         let offset = (page.offset_of(va.raw()) & !3) as usize;
         for cpu in &self.cpus {
-            for slot in cpu.phys.slots(frame) {
+            for &slot in cpu.phys.slots(frame) {
                 if cpu.cache.flags(slot).exclusive {
                     return Some(read_u32(cpu.cache.read(slot, offset, 4)));
                 }
@@ -428,11 +435,8 @@ impl Machine {
                 self.schedule_wake(i, self.now);
             }
         }
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (t, event) = self.queue.pop().expect("peeked");
+        // Fused peek+pop: one heap descent per delivered event.
+        while let Some((t, event)) = self.queue.pop_if_at_or_before(deadline) {
             self.now = self.now.max(t);
             self.bus.advance_to(self.now);
             match event {
@@ -572,13 +576,11 @@ impl Machine {
                 }
                 _ => {} // stale word
             },
-            BusTxKind::ReadShared => match code {
-                ActionCode::Protect => {
-                    // Downgrade private → shared: write back, keep copy.
-                    t = self.flush_frame(cpu, frame, /*downgrade=*/ true, t);
-                }
-                _ => {} // stale word
-            },
+            BusTxKind::ReadShared if code == ActionCode::Protect => {
+                // Downgrade private → shared: write back, keep copy.
+                t = self.flush_frame(cpu, frame, /*downgrade=*/ true, t);
+            }
+            BusTxKind::ReadShared => {} // stale word
             BusTxKind::WriteBack => match code {
                 ActionCode::InterruptOnOwnership => {
                     // Stale-sharer race: the new owner wrote the page back
@@ -601,7 +603,8 @@ impl Machine {
     /// Writes back (if dirty) and invalidates — or downgrades — every
     /// slot of `cpu` holding `frame`; updates the action table.
     fn flush_frame(&mut self, cpu: usize, frame: FrameNum, downgrade: bool, mut t: Nanos) -> Nanos {
-        let slots = self.cpus[cpu].phys.slots(frame);
+        // Owned copy: the loop below mutates the cache and the index.
+        let slots = self.cpus[cpu].phys.slots(frame).to_vec();
         if slots.is_empty() {
             return t;
         }
@@ -726,11 +729,8 @@ impl Machine {
             Some(PendingWork::UpgradeTx(cont)) => self.resume_upgrade(cpu, cont, t)?,
             None => {
                 let last = std::mem::take(&mut self.cpus[cpu].last_result);
-                let op = self.cpus[cpu]
-                    .program
-                    .as_mut()
-                    .expect("ready CPU has a program")
-                    .next_op(last);
+                let op =
+                    self.cpus[cpu].program.as_mut().expect("ready CPU has a program").next_op(last);
                 self.cpus[cpu].op_start = t;
                 self.cpus[cpu].op_stalled = false;
                 self.execute(cpu, op, t)?
@@ -811,7 +811,8 @@ impl Machine {
         tas: bool,
         t: Nanos,
     ) -> Exec {
-        let kind = if write.is_some() || tas { BusTxKind::PlainWrite } else { BusTxKind::PlainRead };
+        let kind =
+            if write.is_some() || tas { BusTxKind::PlainWrite } else { BusTxKind::PlainRead };
         let dur = if tas {
             self.bus.duration(kind) * 2 // read-modify-write cycle
         } else {
@@ -897,10 +898,7 @@ impl Machine {
             self.cpus[cpu].stats.read_misses += 1;
         }
         let vpn = self.page_size().vpn_of(va);
-        let hinted = self
-            .kernel
-            .translate(asid, vpn)
-            .is_some_and(|pte| pte.hint_private);
+        let hinted = self.kernel.translate(asid, vpn).is_some_and(|pte| pte.hint_private);
         let want_private = is_write || hinted;
         match self.fetch_page(cpu, asid, va, want_private, t, 0)? {
             FetchOutcome::Restart(at) => Ok(Exec::Retry(at, PendingWork::FullOp(op))),
@@ -964,7 +962,7 @@ impl Machine {
         }
         self.cpus[cpu].stats.upgrades += 1;
         // A private page is single-copy: drop our other aliases.
-        for other in self.cpus[cpu].phys.slots(cont.frame) {
+        for other in self.cpus[cpu].phys.slots(cont.frame).to_vec() {
             if other != cont.slot {
                 self.cpus[cpu].cache.invalidate(other);
                 self.cpus[cpu].phys.remove(cont.frame, other);
@@ -979,7 +977,12 @@ impl Machine {
     /// Resumes an upgrade whose assert-ownership was aborted. If our
     /// shared copy was invalidated while we waited, fall back to a full
     /// re-execution (it will take the miss path).
-    fn resume_upgrade(&mut self, cpu: usize, cont: UpgradeCont, t: Nanos) -> Result<Exec, MachineError> {
+    fn resume_upgrade(
+        &mut self,
+        cpu: usize,
+        cont: UpgradeCont,
+        t: Nanos,
+    ) -> Result<Exec, MachineError> {
         let asid = self.cpus[cpu].asid;
         match self.cpus[cpu].cache.probe(asid, cont.va) {
             Some(slot) if slot == cont.slot => Ok(self.issue_upgrade(cpu, cont, t)),
@@ -1008,7 +1011,7 @@ impl Machine {
         if cont.want_private {
             // A private page must be the only copy anywhere, including our
             // own aliases under other virtual addresses.
-            for other in self.cpus[cpu].phys.slots(cont.frame) {
+            for other in self.cpus[cpu].phys.slots(cont.frame).to_vec() {
                 self.cpus[cpu].cache.invalidate(other);
                 self.cpus[cpu].phys.remove(cont.frame, other);
             }
@@ -1138,7 +1141,13 @@ impl Machine {
     // Notification (§5.4)
     // ------------------------------------------------------------------
 
-    fn do_notify(&mut self, cpu: usize, op: Op, va: VirtAddr, t: Nanos) -> Result<Exec, MachineError> {
+    fn do_notify(
+        &mut self,
+        cpu: usize,
+        op: Op,
+        va: VirtAddr,
+        t: Nanos,
+    ) -> Result<Exec, MachineError> {
         let asid = self.cpus[cpu].asid;
         let vpn = self.page_size().vpn_of(va);
         let frame = match self.kernel.translate(asid, vpn) {

@@ -1,6 +1,6 @@
 //! The software physical→cache-slot index kept in local memory.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use vmp_cache::SlotId;
 use vmp_types::FrameNum;
@@ -13,6 +13,15 @@ use vmp_types::FrameNum;
 /// each cache page and the mapping from physical address to cache page is
 /// maintained by the processor in the local memory" (paper §3.3). Because
 /// of virtual-address aliasing one frame may occupy several slots.
+///
+/// Layout is tuned for the consistency hot path, which performs one
+/// frame→slots lookup per snooped bus transaction: slots per frame live
+/// in small sorted `Vec`s handed out by reference (no per-lookup
+/// allocation, unlike the former `BTreeSet` + collect), and the reverse
+/// slot→frame map is a flat array indexed by `set * ways + way` (one
+/// load, no hashing). Build it with [`PhysIndex::with_geometry`] when
+/// the cache shape is known; [`PhysIndex::new`] grows the flat array on
+/// demand.
 ///
 /// # Examples
 ///
@@ -29,14 +38,53 @@ use vmp_types::FrameNum;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PhysIndex {
-    by_frame: HashMap<FrameNum, BTreeSet<SlotId>>,
-    by_slot: HashMap<SlotId, FrameNum>,
+    by_frame: HashMap<FrameNum, Vec<SlotId>>,
+    /// Frame held by each slot, linearized as `set * ways + way`.
+    by_slot: Vec<Option<FrameNum>>,
+    ways: usize,
 }
 
 impl PhysIndex {
-    /// Creates an empty index.
+    /// Creates an empty index whose reverse map grows as slots appear.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty index pre-sized for a `sets` × `ways` cache, so
+    /// the reverse map never reallocates during simulation.
+    pub fn with_geometry(sets: usize, ways: usize) -> Self {
+        let ways = ways.max(1);
+        PhysIndex { by_frame: HashMap::new(), by_slot: vec![None; sets * ways], ways }
+    }
+
+    fn linear(&self, slot: SlotId) -> usize {
+        slot.set * self.ways + slot.way
+    }
+
+    /// Grows the reverse map so `slot` has a cell, re-linearizing the
+    /// existing entries if the way count increases. Cold: only reachable
+    /// through [`PhysIndex::new`] with geometry unknown up front.
+    fn ensure_cell(&mut self, slot: SlotId) {
+        if slot.way >= self.ways {
+            let ways = (slot.way + 1).max(self.ways * 2);
+            let mut by_slot = vec![None; self.by_slot.len() / self.ways.max(1) * ways];
+            for (lin, frame) in self.by_slot.iter().enumerate() {
+                if let Some(f) = frame {
+                    let (set, way) = (lin / self.ways, lin % self.ways);
+                    let new_lin = set * ways + way;
+                    if by_slot.len() <= new_lin {
+                        by_slot.resize(new_lin + 1, None);
+                    }
+                    by_slot[new_lin] = Some(*f);
+                }
+            }
+            self.by_slot = by_slot;
+            self.ways = ways;
+        }
+        let lin = self.linear(slot);
+        if lin >= self.by_slot.len() {
+            self.by_slot.resize(lin + 1, None);
+        }
     }
 
     /// Records that `slot` now holds `frame`.
@@ -44,41 +92,56 @@ impl PhysIndex {
     /// If the slot previously held another frame, that stale entry is
     /// removed first (replacement without explicit invalidation).
     pub fn insert(&mut self, frame: FrameNum, slot: SlotId) {
-        if let Some(old) = self.by_slot.insert(slot, frame) {
+        self.ensure_cell(slot);
+        let lin = self.linear(slot);
+        if let Some(old) = self.by_slot[lin].replace(frame) {
             if old != frame {
-                if let Some(set) = self.by_frame.get_mut(&old) {
-                    set.remove(&slot);
-                    if set.is_empty() {
-                        self.by_frame.remove(&old);
-                    }
-                }
+                Self::detach(&mut self.by_frame, old, slot);
             }
         }
-        self.by_frame.entry(frame).or_default().insert(slot);
+        let slots = self.by_frame.entry(frame).or_default();
+        if let Err(pos) = slots.binary_search(&slot) {
+            slots.insert(pos, slot);
+        }
     }
 
     /// Removes the record for `slot` holding `frame`.
     pub fn remove(&mut self, frame: FrameNum, slot: SlotId) {
-        if self.by_slot.get(&slot) == Some(&frame) {
-            self.by_slot.remove(&slot);
+        if self.ways > 0 {
+            let lin = self.linear(slot);
+            if slot.way < self.ways && lin < self.by_slot.len() && self.by_slot[lin] == Some(frame)
+            {
+                self.by_slot[lin] = None;
+            }
         }
-        if let Some(set) = self.by_frame.get_mut(&frame) {
-            set.remove(&slot);
-            if set.is_empty() {
-                self.by_frame.remove(&frame);
+        Self::detach(&mut self.by_frame, frame, slot);
+    }
+
+    fn detach(by_frame: &mut HashMap<FrameNum, Vec<SlotId>>, frame: FrameNum, slot: SlotId) {
+        if let Some(slots) = by_frame.get_mut(&frame) {
+            if let Ok(pos) = slots.binary_search(&slot) {
+                slots.remove(pos);
+            }
+            if slots.is_empty() {
+                by_frame.remove(&frame);
             }
         }
     }
 
-    /// All slots (aliases) currently holding `frame`, in deterministic
-    /// order.
-    pub fn slots(&self, frame: FrameNum) -> Vec<SlotId> {
-        self.by_frame.get(&frame).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    /// All slots (aliases) currently holding `frame`, sorted.
+    ///
+    /// Borrows from the index — the per-reference consistency path calls
+    /// this once per snooped transaction, so it must not allocate.
+    pub fn slots(&self, frame: FrameNum) -> &[SlotId] {
+        self.by_frame.get(&frame).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The frame a slot holds, if recorded.
     pub fn frame_of(&self, slot: SlotId) -> Option<FrameNum> {
-        self.by_slot.get(&slot).copied()
+        if self.ways == 0 || slot.way >= self.ways {
+            return None;
+        }
+        self.by_slot.get(self.linear(slot)).copied().flatten()
     }
 
     /// Number of distinct frames with at least one cached copy.
@@ -90,15 +153,13 @@ impl PhysIndex {
     pub fn iter(&self) -> impl Iterator<Item = (FrameNum, SlotId)> + '_ {
         let mut frames: Vec<_> = self.by_frame.iter().collect();
         frames.sort_by_key(|(f, _)| **f);
-        frames
-            .into_iter()
-            .flat_map(|(f, slots)| slots.iter().map(move |s| (*f, *s)))
+        frames.into_iter().flat_map(|(f, slots)| slots.iter().map(move |s| (*f, *s)))
     }
 
     /// Forgets everything (address-space teardown, overflow recovery).
     pub fn clear(&mut self) {
         self.by_frame.clear();
-        self.by_slot.clear();
+        self.by_slot.iter_mut().for_each(|c| *c = None);
     }
 }
 
@@ -154,6 +215,35 @@ mod tests {
         assert_eq!(pairs[0].0, FrameNum::new(3));
         assert_eq!(pairs[1].0, FrameNum::new(5));
         idx.clear();
+        assert_eq!(idx.frames_cached(), 0);
+        assert_eq!(idx.frame_of(slot(1, 0)), None);
+    }
+
+    #[test]
+    fn with_geometry_matches_grown_index() {
+        let mut pre = PhysIndex::with_geometry(8, 2);
+        let mut grown = PhysIndex::new();
+        for (f, s) in [(1, slot(0, 0)), (1, slot(7, 1)), (4, slot(3, 1)), (2, slot(3, 0))] {
+            pre.insert(FrameNum::new(f), s);
+            grown.insert(FrameNum::new(f), s);
+        }
+        for f in [1u64, 2, 4, 9] {
+            assert_eq!(pre.slots(FrameNum::new(f)), grown.slots(FrameNum::new(f)));
+        }
+        for s in [slot(0, 0), slot(7, 1), slot(3, 1), slot(3, 0), slot(5, 0)] {
+            assert_eq!(pre.frame_of(s), grown.frame_of(s));
+        }
+        assert_eq!(pre.iter().collect::<Vec<_>>(), grown.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut idx = PhysIndex::with_geometry(4, 2);
+        idx.insert(FrameNum::new(7), slot(1, 1));
+        idx.insert(FrameNum::new(7), slot(1, 1));
+        assert_eq!(idx.slots(FrameNum::new(7)), vec![slot(1, 1)]);
+        idx.remove(FrameNum::new(7), slot(1, 1));
+        assert!(idx.slots(FrameNum::new(7)).is_empty());
         assert_eq!(idx.frames_cached(), 0);
     }
 }

@@ -161,9 +161,7 @@ mod tests {
 
     #[test]
     fn report_aggregates() {
-        let mut a = ProcessorStats::default();
-        a.refs = 10;
-        a.read_misses = 1;
+        let a = ProcessorStats { refs: 10, read_misses: 1, ..ProcessorStats::default() };
         let b = ProcessorStats::default();
         let report = MachineReport {
             elapsed: Nanos::from_us(100),

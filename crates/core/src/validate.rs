@@ -104,10 +104,7 @@ impl Machine {
                     let mem = self.memory.read_frame(f);
                     let cached = self.cpus[c.0].cache.snapshot(c.1);
                     if mem != cached {
-                        return Err(format!(
-                            "{f} shared copy at cpu{} diverges from memory",
-                            c.0
-                        ));
+                        return Err(format!("{f} shared copy at cpu{} diverges from memory", c.0));
                     }
                 }
             }
@@ -116,8 +113,7 @@ impl Machine {
         // Action-table consistency.
         for i in 0..n {
             for (f, code) in self.cpus[i].monitor.table().iter_active() {
-                let my_copies: Vec<_> =
-                    copies.iter().filter(|c| c.0 == i && c.3 == f).collect();
+                let my_copies: Vec<_> = copies.iter().filter(|c| c.0 == i && c.3 == f).collect();
                 match code {
                     ActionCode::Protect => {
                         let owns = my_copies.iter().any(|c| c.2.exclusive);
@@ -147,18 +143,12 @@ impl Machine {
                 let expected_private = c.2.exclusive;
                 match code {
                     ActionCode::Protect if !expected_private && !in_transition(i, c.3) => {
-                        return Err(format!(
-                            "cpu{i} caches {} shared but protects it",
-                            c.3
-                        ));
+                        return Err(format!("cpu{i} caches {} shared but protects it", c.3));
                     }
                     ActionCode::InterruptOnOwnership
                         if expected_private && !in_transition(i, c.3) =>
                     {
-                        return Err(format!(
-                            "cpu{i} owns {} but marks it shared",
-                            c.3
-                        ));
+                        return Err(format!("cpu{i} owns {} but marks it shared", c.3));
                     }
                     ActionCode::Ignore if !in_transition(i, c.3) => {
                         return Err(format!(

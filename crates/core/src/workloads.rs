@@ -493,7 +493,7 @@ mod message_tests {
         let _ = r.next_op(OpResult::None); // watch
         let _ = r.next_op(OpResult::None); // wait
         assert_eq!(r.next_op(OpResult::None), Op::Read(mb)); // timeout fires
-        // Mailbox empty: re-arm without counting.
+                                                             // Mailbox empty: re-arm without counting.
         assert_eq!(r.next_op(OpResult::Read(0)), Op::WatchNotify(mb));
         assert_eq!(r.received(), 0);
     }
@@ -700,7 +700,7 @@ mod barrier_tests {
         let _ = w.next_op(OpResult::None); // TAS
         let _ = w.next_op(OpResult::Tas(0)); // read gen
         let _ = w.next_op(OpResult::Read(0)); // gen=0 → read count
-        // Count 0+1 < 2: store it, unlock, watch, wait.
+                                              // Count 0+1 < 2: store it, unlock, watch, wait.
         assert_eq!(w.next_op(OpResult::Read(0)), Op::Write(VirtAddr::new(0x200), 1));
         assert_eq!(w.next_op(OpResult::None), Op::Write(VirtAddr::new(0x100), 0));
         assert_eq!(w.next_op(OpResult::None), Op::WatchNotify(VirtAddr::new(0x300)));
@@ -732,7 +732,7 @@ mod barrier_tests {
         let _ = w.next_op(OpResult::None); // watch
         let _ = w.next_op(OpResult::None); // wait
         assert_eq!(w.next_op(OpResult::None), Op::Read(VirtAddr::new(0x300))); // timeout → poll gen
-        // Generation unchanged → re-watch.
+                                                                               // Generation unchanged → re-watch.
         assert_eq!(w.next_op(OpResult::Read(0)), Op::WatchNotify(VirtAddr::new(0x300)));
     }
 

@@ -20,11 +20,7 @@ fn small(processors: usize) -> Machine {
 fn single_cpu_write_then_read_roundtrip() {
     let mut m = small(1);
     let va = VirtAddr::new(0x2000);
-    m.set_program(
-        0,
-        ScriptProgram::new([Op::Write(va, 1234), Op::Read(va), Op::Halt]),
-    )
-    .unwrap();
+    m.set_program(0, ScriptProgram::new([Op::Write(va, 1234), Op::Read(va), Op::Halt])).unwrap();
     let report = m.run().unwrap();
     assert_eq!(m.peek_word(Asid::new(1), va), Some(1234));
     assert_eq!(report.processors[0].write_misses, 1);
@@ -152,11 +148,8 @@ fn notify_lock_generates_less_lock_traffic_than_spin() {
         }
         let report = m.run().unwrap();
         assert_eq!(m.peek_word(Asid::new(1), counter), Some(40));
-        let upgrades_and_misses: u64 = report
-            .processors
-            .iter()
-            .map(|p| p.upgrades + p.write_misses + p.invalidations)
-            .sum();
+        let upgrades_and_misses: u64 =
+            report.processors.iter().map(|p| p.upgrades + p.write_misses + p.invalidations).sum();
         upgrades_and_misses
     };
     let spin_traffic = run(LockDiscipline::Spin);
@@ -176,11 +169,7 @@ fn alias_same_cpu_self_competition() {
     let va2 = VirtAddr::new(0x9000);
     let asid = Asid::new(1);
     m.map_shared(&[(asid, va1), (asid, va2)]).unwrap();
-    m.set_program(
-        0,
-        ScriptProgram::new([Op::Write(va1, 4242), Op::Read(va2), Op::Halt]),
-    )
-    .unwrap();
+    m.set_program(0, ScriptProgram::new([Op::Write(va1, 4242), Op::Read(va2), Op::Halt])).unwrap();
     m.run().unwrap();
     // The read through va2 missed, issued read-shared, was aborted by
     // the CPU's own monitor (it owned the frame via va1), flushed, and
@@ -239,11 +228,7 @@ fn script_observes_reads() {
     m.set_program(0, ScriptProgram::new([Op::Write(va, 555), Op::Halt])).unwrap();
     // Run writer to completion first.
     m.run().unwrap();
-    m.set_program(
-        1,
-        ScriptProgram::new([Op::Read(va), Op::Halt]),
-    )
-    .unwrap();
+    m.set_program(1, ScriptProgram::new([Op::Read(va), Op::Halt])).unwrap();
     m.run().unwrap();
     // The reader's observation is visible through peek (the read is
     // coherent) — and no invariant broke while ownership moved.
@@ -349,12 +334,7 @@ fn change_mapping_flushes_all_caches() {
     let vpn = m.page_size().vpn_of(VirtAddr::new(0xff00));
     let new_frame = {
         // Grab a frame by faulting an unrelated page, then reuse it.
-        let mut k_frame = None;
-        for f in 0..m.kernel().free_frames() {
-            let _ = f;
-            k_frame = Some(());
-            break;
-        }
+        let k_frame = (m.kernel().free_frames() > 0).then_some(());
         let _ = (vpn, k_frame);
         // Simply map to a frame we conjure via a scratch fault:
         m.map_shared(&[(Asid::new(7), VirtAddr::new(0x100))]).unwrap()
@@ -375,8 +355,7 @@ fn delete_address_space_flushes_and_frees() {
     let mut m = small(2);
     let asid = Asid::new(1);
     let vas: Vec<VirtAddr> = (0..4).map(|i| VirtAddr::new(0x1000 + i * 0x1000)).collect();
-    let ops: Vec<Op> =
-        vas.iter().map(|&va| Op::Write(va, 9)).chain([Op::Halt]).collect();
+    let ops: Vec<Op> = vas.iter().map(|&va| Op::Write(va, 9)).chain([Op::Halt]).collect();
     m.set_program(0, ScriptProgram::new(ops)).unwrap();
     m.run().unwrap();
     let free_before = m.kernel().free_frames();
@@ -389,11 +368,7 @@ fn delete_address_space_flushes_and_frees() {
 #[test]
 fn pte_traffic_appears_on_first_touch() {
     let mut m = small(1);
-    m.set_program(
-        0,
-        ScriptProgram::new([Op::Read(VirtAddr::new(0x1000)), Op::Halt]),
-    )
-    .unwrap();
+    m.set_program(0, ScriptProgram::new([Op::Read(VirtAddr::new(0x1000)), Op::Halt])).unwrap();
     let report = m.run().unwrap();
     assert!(report.processors[0].pte_misses >= 1, "PTE page must be fetched through the cache");
     // Two demand-zero faults: the data page itself and the kernel page
@@ -490,11 +465,8 @@ fn bus_stats_accumulate() {
 fn miss_latency_histogram_records_misses() {
     let mut m = small(1);
     let va = VirtAddr::new(0x2000);
-    m.set_program(
-        0,
-        ScriptProgram::new([Op::Write(va, 1), Op::Read(va), Op::Read(va), Op::Halt]),
-    )
-    .unwrap();
+    m.set_program(0, ScriptProgram::new([Op::Write(va, 1), Op::Read(va), Op::Read(va), Op::Halt]))
+        .unwrap();
     m.run().unwrap();
     let h = m.miss_latency(0);
     // Exactly one stalled operation: the first write (the two reads hit).

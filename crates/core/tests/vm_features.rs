@@ -82,8 +82,7 @@ fn private_hint_skips_upgrade() {
         if hint {
             m.set_private_hint(asid, va, true).unwrap();
         }
-        m.set_program(0, ScriptProgram::new([Op::Read(va), Op::Write(va, 5), Op::Halt]))
-            .unwrap();
+        m.set_program(0, ScriptProgram::new([Op::Read(va), Op::Write(va, 5), Op::Halt])).unwrap();
         m.run().unwrap();
         m.validate().unwrap();
         m.cpu_stats(0).upgrades
@@ -106,15 +105,11 @@ fn mailbox_messages_flow_via_notification() {
     let messages = vec![11, 22, 33];
     // Generous gaps so each message is consumed before the next lands
     // (the mailbox is a single word, as in the paper's sketch).
-    m.set_program(0, MessageSender::new(mailbox, messages.clone(), Nanos::from_ms(2)))
-        .unwrap();
+    m.set_program(0, MessageSender::new(mailbox, messages.clone(), Nanos::from_ms(2))).unwrap();
     m.set_program(1, MessageReceiver::new(mailbox, ack, messages.len())).unwrap();
     let report = m.run().unwrap();
     assert_eq!(m.peek_word(Asid::new(1), ack), Some(33), "last message acknowledged");
-    assert!(
-        report.processors[1].notifies >= 1,
-        "receiver must be woken by notify at least once"
-    );
+    assert!(report.processors[1].notifies >= 1, "receiver must be woken by notify at least once");
     m.validate().unwrap();
 }
 

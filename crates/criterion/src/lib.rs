@@ -1,0 +1,154 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`],
+//! [`criterion_group!`] and [`criterion_main!`] — measured with plain
+//! `std::time::Instant` wall clocks. No statistics engine: each bench
+//! reports min / mean / max over `sample_size` timed runs.
+//!
+//! Passing `--test` (as `cargo bench -- --test` does for smoke runs)
+//! switches to a single verification iteration per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the shim re-runs setup per iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 20, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed runs each benchmark performs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { durations: Vec::with_capacity(samples) };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        report(name, &bencher.durations, self.test_mode);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; times the measured section.
+pub struct Bencher {
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one run of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.durations.push(start.elapsed());
+    }
+
+    /// Times one run of `routine` on a fresh `setup()` input, excluding
+    /// the setup cost from the measurement.
+    pub fn iter_batched<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.durations.push(start.elapsed());
+    }
+}
+
+fn report(name: &str, durations: &[Duration], test_mode: bool) {
+    if test_mode {
+        println!("{name}: ok (smoke, {:?})", durations.first().copied().unwrap_or_default());
+        return;
+    }
+    let min = durations.iter().min().copied().unwrap_or_default();
+    let max = durations.iter().max().copied().unwrap_or_default();
+    let mean = durations.iter().sum::<Duration>() / durations.len().max(1) as u32;
+    println!("{name}: min {min:?} / mean {mean:?} / max {max:?} ({} samples)", durations.len());
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        c.bench_function("batched_sum", |b| {
+            b.iter_batched(|| vec![1u64; 128], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_runs() {
+        group();
+    }
+}

@@ -194,11 +194,11 @@ mod tests {
     fn transfer_time_uses_timings() {
         let m = MainMemory::new(PageSize::S256, 1024);
         assert_eq!(m.page_transfer_time().as_micros_f64(), 6.6);
-        let fast =
-            MainMemory::with_timings(PageSize::S256, 1024, MemTimings {
-                first_word: Nanos::from_ns(100),
-                next_word: Nanos::from_ns(50),
-            });
+        let fast = MainMemory::with_timings(
+            PageSize::S256,
+            1024,
+            MemTimings { first_word: Nanos::from_ns(100), next_word: Nanos::from_ns(50) },
+        );
         assert_eq!(fast.page_transfer_time().as_ns(), 100 + 63 * 50);
         assert_eq!(fast.timings().next_word, Nanos::from_ns(50));
     }

@@ -83,6 +83,23 @@ impl<E> EventQueue<E> {
         })
     }
 
+    /// Removes and returns the earliest event iff its timestamp is at or
+    /// before `deadline`.
+    ///
+    /// Equivalent to `peek_time` + `pop` but with a single heap descent,
+    /// which matters in `run_until`-style dispatch loops where it runs
+    /// once per delivered event. FIFO tie-breaking is unchanged: the
+    /// heap order is untouched, only the removal is fused.
+    pub fn pop_if_at_or_before(&mut self, deadline: Nanos) -> Option<(Nanos, E)> {
+        let entry = self.heap.peek_mut()?;
+        let Reverse((t, _)) = entry.key;
+        if t > deadline {
+            return None;
+        }
+        let entry = std::collections::binary_heap::PeekMut::pop(entry);
+        Some((t, entry.event))
+    }
+
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Nanos> {
         self.heap.peek().map(|e| {
@@ -166,6 +183,57 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_ns(10), 'a');
+        q.schedule(Nanos::from_ns(20), 'b');
+        assert_eq!(q.pop_if_at_or_before(Nanos::from_ns(5)), None);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_if_at_or_before(Nanos::from_ns(10)), Some((Nanos::from_ns(10), 'a')));
+        assert_eq!(q.pop_if_at_or_before(Nanos::from_ns(15)), None);
+        assert_eq!(q.pop_if_at_or_before(Nanos::from_ns(100)), Some((Nanos::from_ns(20), 'b')));
+        assert_eq!(q.pop_if_at_or_before(Nanos::from_ns(100)), None);
+    }
+
+    #[test]
+    fn pop_if_at_or_before_keeps_fifo_ties() {
+        // The fused peek+pop must deliver equal-time events in schedule
+        // order, exactly like peek_time + pop did.
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos::from_ns(7), i);
+        }
+        let order: Vec<i32> =
+            std::iter::from_fn(|| q.pop_if_at_or_before(Nanos::from_ns(7)).map(|(_, e)| e))
+                .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_if_matches_peek_then_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for i in 0..50u32 {
+            let t = Nanos::from_ns(u64::from(i % 7) * 3);
+            a.schedule(t, i);
+            b.schedule(t, i);
+        }
+        let deadline = Nanos::from_ns(12);
+        loop {
+            let via_fused = a.pop_if_at_or_before(deadline);
+            let via_peek = match b.peek_time() {
+                Some(t) if t <= deadline => b.pop(),
+                _ => None,
+            };
+            assert_eq!(via_fused, via_peek);
+            if via_fused.is_none() {
+                break;
+            }
+        }
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -214,8 +214,7 @@ mod tests {
     fn lru_equivalence_with_fraction_at_least() {
         // Cross-check on a pseudo-random stream against a brute-force
         // LRU stack simulation at one capacity.
-        let refs: Vec<MemRef> =
-            (0..800u64).map(|i| read((i * 2654435761) % (32 * 256))).collect();
+        let refs: Vec<MemRef> = (0..800u64).map(|i| read((i * 2654435761) % (32 * 256))).collect();
         let page = PageSize::S256;
         let capacity = 8u64;
         // Brute-force LRU stack.
@@ -240,10 +239,7 @@ mod tests {
         let actual = misses as f64 / refs.len() as f64;
         // Power-of-two buckets are apportioned linearly, so allow a
         // bucket's worth of slack.
-        assert!(
-            (predicted - actual).abs() < 0.15,
-            "predicted {predicted} vs actual {actual}"
-        );
+        assert!((predicted - actual).abs() < 0.15, "predicted {predicted} vs actual {actual}");
     }
 
     #[test]

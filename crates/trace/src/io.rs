@@ -96,10 +96,8 @@ pub fn read_text<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let rec = parse_line(trimmed).ok_or_else(|| TraceIoError::Parse {
-            line: idx + 1,
-            content: trimmed.to_owned(),
-        })?;
+        let rec = parse_line(trimmed)
+            .ok_or_else(|| TraceIoError::Parse { line: idx + 1, content: trimmed.to_owned() })?;
         trace.push(rec);
     }
     Ok(trace)
@@ -181,15 +179,9 @@ pub fn read_binary<R: std::io::Read>(mut r: R) -> Result<Trace, TraceIoError> {
             2 => AccessKind::IFetch,
             k => return Err(bad(&format!("unknown access kind {k} at record {i}"))),
         };
-        let privilege =
-            if rec[1] & 0x80 != 0 { Privilege::Supervisor } else { Privilege::User };
+        let privilege = if rec[1] & 0x80 != 0 { Privilege::Supervisor } else { Privilege::User };
         let addr = u64::from_le_bytes(rec[2..10].try_into().expect("fixed slice"));
-        trace.push(MemRef {
-            asid: Asid::new(rec[0]),
-            addr: VirtAddr::new(addr),
-            kind,
-            privilege,
-        });
+        trace.push(MemRef { asid: Asid::new(rec[0]), addr: VirtAddr::new(addr), kind, privilege });
     }
     Ok(trace)
 }

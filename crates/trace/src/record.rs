@@ -27,7 +27,6 @@ use crate::TraceStats;
 /// assert_eq!(k.kind, AccessKind::IFetch);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemRef {
     /// Address space of the reference.
     pub asid: Asid,
@@ -87,7 +86,6 @@ impl fmt::Display for MemRef {
 /// assert_eq!(t.iter().count(), 100);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     refs: Vec<MemRef>,
 }

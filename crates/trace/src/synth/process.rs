@@ -176,8 +176,11 @@ impl ProcessGen {
             let lo = p.stack_base as i64;
             let hi = (p.stack_base + p.stack_bytes - 4) as i64;
             self.stack_ptr = (self.stack_ptr as i64 + delta).clamp(lo, hi) as u64;
-            let kind =
-                if rng.random_bool(p.data_write_prob) { AccessKind::Write } else { AccessKind::Read };
+            let kind = if rng.random_bool(p.data_write_prob) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             return self.make(kind, self.stack_ptr);
         }
         pick -= p.data_mix[0];
@@ -189,7 +192,7 @@ impl ProcessGen {
             let page = self.globals.sample(rng) as u64;
             let offset = rng.random_range(0..256u64 / 4) * 4;
             let addr = p.globals_base + page * 256 + offset;
-            let writable = page % 4 == 0;
+            let writable = page.is_multiple_of(4);
             let kind = if writable && rng.random_bool(p.data_write_prob) {
                 AccessKind::Write
             } else {

@@ -125,8 +125,7 @@ mod tests {
 
     #[test]
     fn layouts_span_differently() {
-        let scattered =
-            RecordTraversal::new(Asid::new(1), 0, 256, 64, Layout::Scattered);
+        let scattered = RecordTraversal::new(Asid::new(1), 0, 256, 64, Layout::Scattered);
         let packed = RecordTraversal::new(Asid::new(1), 0, 256, 64, Layout::Packed);
         assert_eq!(scattered.hot_span_bytes(), 256 * 64);
         assert_eq!(packed.hot_span_bytes(), 256 * 4);
@@ -148,12 +147,9 @@ mod tests {
 
     #[test]
     fn skew_prefers_low_records() {
-        let mut g =
-            RecordTraversal::with_skew(Asid::new(1), 0, 256, 64, Layout::Packed, 1.2);
+        let mut g = RecordTraversal::with_skew(Asid::new(1), 0, 256, 64, Layout::Packed, 1.2);
         let mut rng = StdRng::seed_from_u64(3);
-        let hot = (0..5000)
-            .filter(|_| g.next_ref(&mut rng).addr.raw() < 32 * 4)
-            .count();
+        let hot = (0..5000).filter(|_| g.next_ref(&mut rng).addr.raw() < 32 * 4).count();
         assert!(hot as f64 / 5000.0 > 0.4, "hot share {}", hot as f64 / 5000.0);
     }
 

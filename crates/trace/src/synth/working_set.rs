@@ -118,8 +118,7 @@ impl WorkingSet {
         self.offset = (self.offset + 4) % p.object_bytes;
         self.burst_left -= 1;
         let writable = (self.current_object as usize / p.writable_cluster)
-            % p.writable_cluster_period
-            == 0;
+            .is_multiple_of(p.writable_cluster_period);
         let is_write = writable && rng.random_bool(p.write_prob);
         (addr, is_write)
     }
@@ -215,12 +214,8 @@ mod tests {
 
     #[test]
     fn drift_covers_region_eventually() {
-        let p = WorkingSetParams {
-            objects: 64,
-            hot_window: 8,
-            advance_every: 2,
-            ..Default::default()
-        };
+        let p =
+            WorkingSetParams { objects: 64, hot_window: 8, advance_every: 2, ..Default::default() };
         let ob = p.object_bytes;
         let base = p.region_base;
         let mut ws = WorkingSet::new(p);

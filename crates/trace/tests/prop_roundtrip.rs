@@ -9,11 +9,7 @@ fn arb_ref() -> impl Strategy<Value = MemRef> {
     (
         any::<u8>(),
         any::<u64>(),
-        prop_oneof![
-            Just(AccessKind::Read),
-            Just(AccessKind::Write),
-            Just(AccessKind::IFetch)
-        ],
+        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write), Just(AccessKind::IFetch)],
         any::<bool>(),
     )
         .prop_map(|(asid, addr, kind, sup)| MemRef {

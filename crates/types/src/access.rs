@@ -8,7 +8,6 @@ use core::fmt;
 /// writes, and a `Write` to a page held without exclusive ownership forces
 /// the consistency protocol to negotiate write permission (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// A data read.
     Read,
@@ -50,7 +49,6 @@ impl fmt::Display for AccessKind {
 /// this to tag operating-system references, which the paper reports as
 /// ≈25 % of references and ≈50 % of misses (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Privilege {
     /// Unprivileged application code.
     #[default]

@@ -16,7 +16,6 @@ use core::fmt;
 /// assert_eq!(format!("{va}"), "va:0xdeadbeef");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {
@@ -61,7 +60,6 @@ impl From<u64> for VirtAddr {
 /// Bus monitors match transactions by physical address; the software cache
 /// manager maintains the physical→cache-slot index in local memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -112,7 +110,6 @@ impl From<u64> for PhysAddr {
 /// assert_ne!(Asid::new(1), Asid::KERNEL);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Asid(u8);
 
 impl Asid {
@@ -151,7 +148,6 @@ impl fmt::Display for Asid {
 /// page* (§2 footnote 2); this is the unit the consistency protocol and
 /// the miss handler operate on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VirtPageNum(u64);
 
 impl VirtPageNum {
@@ -179,7 +175,6 @@ impl fmt::Display for VirtPageNum {
 ///
 /// Bus-monitor action tables hold one two-bit entry per `FrameNum`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FrameNum(u64);
 
 impl FrameNum {
@@ -214,7 +209,6 @@ impl fmt::Display for FrameNum {
 /// (§4); the queueing analysis in §5.3 estimates about five fit before
 /// bus contention dominates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessorId(usize);
 
 impl ProcessorId {

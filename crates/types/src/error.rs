@@ -37,7 +37,10 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::InvalidPageSize { bytes } => {
-                write!(f, "invalid cache page size {bytes}: must be a power of two of at least 4 bytes")
+                write!(
+                    f,
+                    "invalid cache page size {bytes}: must be a power of two of at least 4 bytes"
+                )
             }
             ConfigError::ZeroCount { what } => write!(f, "{what} must be non-zero"),
             ConfigError::NotPowerOfTwo { what, value } => {

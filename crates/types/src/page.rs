@@ -25,7 +25,6 @@ use crate::{ConfigError, FrameNum, PhysAddr, VirtAddr, VirtPageNum, LONGWORD_BYT
 /// assert_eq!(p.offset_of(0x1234), 0x34);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageSize(u64);
 
 impl PageSize {

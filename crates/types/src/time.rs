@@ -24,7 +24,6 @@ pub const LONGWORD_BYTES: u64 = 4;
 /// assert_eq!((first + rest).as_micros_f64(), 6.6);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Nanos(u64);
 
 impl Nanos {
@@ -172,10 +171,7 @@ mod tests {
         assert_eq!(t, Nanos::ZERO);
         assert_eq!(Nanos::from_ns(10) * 7, Nanos::from_ns(70));
         assert_eq!(Nanos::from_ns(70) / 7, Nanos::from_ns(10));
-        assert_eq!(
-            Nanos::ZERO.saturating_sub(Nanos::from_ns(5)),
-            Nanos::ZERO
-        );
+        assert_eq!(Nanos::ZERO.saturating_sub(Nanos::from_ns(5)), Nanos::ZERO);
     }
 
     #[test]

@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]);
         }
     }
-    println!(
-        "{}",
-        render_table(&["cache", "page", "miss ratio", "predicted cpu perf"], &rows)
-    );
+    println!("{}", render_table(&["cache", "page", "miss ratio", "predicted cpu perf"], &rows));
     println!(
         "larger caches and larger pages both cut the miss ratio; the paper's\n\
          design point (256 B pages, 128-256 KB) keeps the software-handled\n\

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CPU 0 fills a buffer page and keeps it dirty in its cache.
     machine.set_program(
         0,
-        ScriptProgram::new([Op::Write(buf, 0xaabb_ccdd), Op::Write(buf.add(4), 0x1122_3344), Op::Halt]),
+        ScriptProgram::new([
+            Op::Write(buf, 0xaabb_ccdd),
+            Op::Write(buf.add(4), 0x1122_3344),
+            Op::Halt,
+        ]),
     )?;
     machine.run()?;
     let frame = machine.frame_of(asid, buf).expect("buffer mapped");

@@ -10,9 +10,11 @@ use vmp::machine::{Machine, MachineConfig};
 use vmp::types::{Asid, Nanos, VirtAddr};
 
 fn run(discipline: LockDiscipline, label: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = MachineConfig::default();
-    config.processors = 4;
-    config.max_time = Nanos::from_ms(60_000);
+    let config = MachineConfig {
+        processors: 4,
+        max_time: Nanos::from_ms(60_000),
+        ..MachineConfig::default()
+    };
     let mut machine = Machine::build(config)?;
     let lock = VirtAddr::new(0x1000);
     let counter = VirtAddr::new(0x2000);

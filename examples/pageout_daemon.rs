@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     machine.set_program(0, ScriptProgram::new(ops))?;
     machine.run()?;
-    println!("process wrote {} pages; free frames: {}", pages.len(), machine.kernel().free_frames());
+    println!(
+        "process wrote {} pages; free frames: {}",
+        pages.len(),
+        machine.kernel().free_frames()
+    );
 
     // Daemon pass 1: clear reference bits, flushing every page from every
     // cache with assert-ownership so future touches are observable.

@@ -71,10 +71,12 @@ impl Program for PhasedWorker {
 }
 
 fn run(workers: usize, phases: u64, total_words: u64) -> Nanos {
-    let mut config = MachineConfig::default();
-    config.processors = workers;
+    let mut config = MachineConfig {
+        processors: workers,
+        max_time: Nanos::from_ms(60_000),
+        ..MachineConfig::default()
+    };
     config.cpu.page_fault = Nanos::from_us(5);
-    config.max_time = Nanos::from_ms(60_000);
     let mut m = Machine::build(config).unwrap();
     let lock = VirtAddr::new(0x10_0000);
     let counter = VirtAddr::new(0x10_1000);
@@ -115,7 +117,5 @@ fn main() {
         t1.as_ns() as f64 / t2.as_ns() as f64,
         t1.as_ns() as f64 / t4.as_ns() as f64,
     );
-    println!(
-        "(sub-linear as the bus saturates — the §5.3 limit in application form)"
-    );
+    println!("(sub-linear as the bus saturates — the §5.3 limit in application form)");
 }

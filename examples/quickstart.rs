@@ -23,12 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cpu in 0..2 {
         let asid = Asid::new(10 + cpu as u8);
         machine.set_asid(cpu, asid)?;
-        let refs = AtumWorkload::new(AtumParams::default(), 42 + cpu as u64)
-            .take(20_000)
-            .map(move |mut r| {
+        let refs = AtumWorkload::new(AtumParams::default(), 42 + cpu as u64).take(20_000).map(
+            move |mut r| {
                 r.asid = asid;
                 r
-            });
+            },
+        );
         machine.set_program(cpu, TraceProgram::new(refs))?;
     }
 

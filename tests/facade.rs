@@ -15,10 +15,12 @@ fn machine_miss_cost_matches_analytic_model() {
     // Table 1 model says, within arbitration slack.
     let page = PageSize::S256;
     let run = |ops: Vec<Op>| {
-        let mut config = MachineConfig::default();
-        config.processors = 1;
-        config.cache = CacheConfig::new(page, 1, page.bytes() * 2).unwrap();
-        config.memory_bytes = 64 * 1024;
+        let config = MachineConfig {
+            processors: 1,
+            cache: CacheConfig::new(page, 1, page.bytes() * 2).unwrap(),
+            memory_bytes: 64 * 1024,
+            ..MachineConfig::default()
+        };
         let mut m = Machine::build(config).unwrap();
         m.set_program(0, ScriptProgram::new(ops)).unwrap();
         m.run().unwrap();
@@ -31,10 +33,7 @@ fn machine_miss_cost_matches_analytic_model() {
     let measured = full - base;
     let model = MissCostModel::paper(page).elapsed(false);
     let diff = measured.as_ns().abs_diff(model.as_ns());
-    assert!(
-        diff < 1_000,
-        "machine {measured} vs model {model} differ by more than 1 us"
-    );
+    assert!(diff < 1_000, "machine {measured} vs model {model} differ by more than 1 us");
 }
 
 #[test]
@@ -53,13 +52,15 @@ fn machine_and_tag_cache_agree_on_miss_ratio() {
         r
     }));
 
-    let mut mconfig = MachineConfig::default();
-    mconfig.processors = 1;
-    mconfig.cache = config;
-    mconfig.memory_bytes = 2 * 1024 * 1024;
+    let mut mconfig = MachineConfig {
+        processors: 1,
+        cache: config,
+        memory_bytes: 2 * 1024 * 1024,
+        ..MachineConfig::default()
+    };
     mconfig.cpu.page_fault = Nanos::ZERO;
     let mut m = Machine::build(mconfig).unwrap();
-    m.set_program(0, TraceProgram::new(trace.clone().into_iter())).unwrap();
+    m.set_program(0, TraceProgram::new(trace.clone())).unwrap();
     let report = m.run().unwrap();
     let machine_ratio = report.processors[0].miss_ratio();
     let tag_ratio = tag_stats.miss_ratio();
@@ -76,12 +77,11 @@ fn measured_performance_tracks_figure3_model() {
     // into the Figure 3 formula: the machine's measured performance
     // should land near the model's prediction.
     let trace: Trace = AtumWorkload::new(AtumParams::default(), 11).take(40_000).collect();
-    let mut config = MachineConfig::default();
-    config.processors = 1;
-    config.memory_bytes = 2 * 1024 * 1024;
+    let mut config =
+        MachineConfig { processors: 1, memory_bytes: 2 * 1024 * 1024, ..MachineConfig::default() };
     config.cpu.page_fault = Nanos::ZERO; // the model does not price page faults
     let mut m = Machine::build(config).unwrap();
-    m.set_program(0, TraceProgram::new(trace.into_iter())).unwrap();
+    m.set_program(0, TraceProgram::new(trace)).unwrap();
     let report = m.run().unwrap();
     let stats = &report.processors[0];
     // Use the machine's real per-miss stall, which includes PTE traffic.

@@ -9,11 +9,13 @@ use vmp::types::{Asid, Nanos, PageSize, VirtAddr};
 
 #[test]
 fn mixed_workload_machine_stays_consistent() {
-    let mut config = MachineConfig::default();
-    config.processors = 3;
-    config.memory_bytes = 2 * 1024 * 1024;
+    let mut config = MachineConfig {
+        processors: 3,
+        memory_bytes: 2 * 1024 * 1024,
+        max_time: Nanos::from_ms(60_000),
+        ..MachineConfig::default()
+    };
     config.cpu.page_fault = Nanos::from_us(10);
-    config.max_time = Nanos::from_ms(60_000);
     let mut m = Machine::build(config).unwrap();
 
     // CPU 0: trace playback in its own space.
@@ -76,7 +78,11 @@ fn baselines_agree_on_private_data_and_disagree_on_shared_writes() {
     // traffic. Shared writes: snoopy pays per write, ownership per
     // migration.
     let private: Vec<Access> = (0..1000)
-        .map(|i| Access { cpu: (i % 2) as usize, addr: (i % 2) as u64 * 0x10000 + (i as u64 % 64) * 4, write: i % 3 == 0 })
+        .map(|i| Access {
+            cpu: (i % 2) as usize,
+            addr: (i % 2) as u64 * 0x10000 + (i as u64 % 64) * 4,
+            write: i % 3 == 0,
+        })
         .collect();
     let mut snoopy = SnoopySystem::new(2, 16);
     let mut vmp = OwnershipSystem::new(2, PageSize::S256);
@@ -107,11 +113,13 @@ fn scaling_degrades_gracefully() {
     // More processors on one bus: aggregate throughput rises, per-CPU
     // performance falls — no collapse, no deadlock.
     let run = |n: usize| {
-        let mut config = MachineConfig::default();
-        config.processors = n;
-        config.memory_bytes = 4 * 1024 * 1024;
+        let mut config = MachineConfig {
+            processors: n,
+            memory_bytes: 4 * 1024 * 1024,
+            max_time: Nanos::from_ms(60_000),
+            ..MachineConfig::default()
+        };
         config.cpu.page_fault = Nanos::ZERO;
-        config.max_time = Nanos::from_ms(60_000);
         let mut m = Machine::build(config).unwrap();
         for cpu in 0..n {
             let asid = Asid::new(cpu as u8 + 1);

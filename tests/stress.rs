@@ -58,11 +58,13 @@ fn sliced_execution_equals_one_shot() {
 /// DMA, locks and trace playback all at once, with invariants checked.
 #[test]
 fn dma_locks_and_traces_coexist() {
-    let mut config = MachineConfig::default();
-    config.processors = 3;
-    config.memory_bytes = 2 * 1024 * 1024;
+    let mut config = MachineConfig {
+        processors: 3,
+        memory_bytes: 2 * 1024 * 1024,
+        max_time: Nanos::from_ms(60_000),
+        ..MachineConfig::default()
+    };
     config.cpu.page_fault = Nanos::from_us(5);
-    config.max_time = Nanos::from_ms(60_000);
     let mut m = Machine::build(config).unwrap();
 
     // CPU 0 streams a trace in its own space.
@@ -135,8 +137,7 @@ fn contention_tracks_migratory_model() {
     // write-back + fetch bus time against the model's 2-transfer figure.
     let migrations: u64 = report.processors.iter().map(|p| p.write_misses).sum();
     assert!(migrations >= 60, "expected steady ping-pong, got {migrations}");
-    let measured_bus_per_migration =
-        report.bus.busy.busy().as_ns() as f64 / migrations as f64;
+    let measured_bus_per_migration = report.bus.busy.busy().as_ns() as f64 / migrations as f64;
     let predicted = model.bus.as_ns() as f64;
     let ratio = measured_bus_per_migration / predicted;
     assert!(
@@ -151,11 +152,13 @@ fn contention_tracks_migratory_model() {
 /// breaking.
 #[test]
 fn sixteen_processors_saturate_gracefully() {
-    let mut config = MachineConfig::default();
-    config.processors = 16;
-    config.memory_bytes = 8 * 1024 * 1024;
+    let mut config = MachineConfig {
+        processors: 16,
+        memory_bytes: 8 * 1024 * 1024,
+        max_time: Nanos::from_ms(120_000),
+        ..MachineConfig::default()
+    };
     config.cpu.page_fault = Nanos::ZERO;
-    config.max_time = Nanos::from_ms(120_000);
     let mut m = Machine::build(config).unwrap();
     for cpu in 0..16 {
         let asid = Asid::new(cpu as u8 + 1);
