@@ -16,11 +16,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vmp_bench::{banner, simulate_miss_ratio, standard_trace, TRACE_SEED};
+use vmp_bus::{BusStats, BusTxKind};
+use vmp_core::workloads::{LockDiscipline, LockWorker};
 use vmp_core::{Machine, MachineConfig, TraceProgram};
+use vmp_faults::{FaultPlan, FaultRates};
 use vmp_sweep::{SweepJob, SweepPool};
 use vmp_trace::synth::{AtumParams, AtumWorkload};
 use vmp_trace::Trace;
-use vmp_types::{Nanos, PageSize};
+use vmp_types::{Nanos, PageSize, VirtAddr};
 
 fn tag_refs_per_sec(trace: &Trace, repeats: usize) -> f64 {
     let start = Instant::now();
@@ -67,6 +70,54 @@ fn sweep_wall(trace: &Arc<Trace>, threads: usize) -> (f64, Vec<u64>) {
     (start.elapsed().as_secs_f64(), stats.iter().map(|s| s.misses).collect())
 }
 
+/// Runs a contended spin-lock workload (optionally under a seeded fault
+/// plan) and returns the bus statistics, for the abort breakdown below.
+fn contended_bus_stats(faults: Option<FaultRates>) -> BusStats {
+    let mut config = MachineConfig::small();
+    config.validate_each_step = false;
+    config.max_time = Nanos::from_ms(60_000);
+    let mut m = Machine::build(config).unwrap();
+    for cpu in 0..2 {
+        m.set_program(
+            cpu,
+            LockWorker::new(
+                LockDiscipline::Spin,
+                VirtAddr::new(0x1000),
+                VirtAddr::new(0x2000),
+                20,
+                Nanos::from_us(2),
+                Nanos::from_us(1),
+            ),
+        )
+        .unwrap();
+    }
+    if let Some(rates) = faults {
+        m.install_fault_hook(FaultPlan::new(TRACE_SEED, rates));
+    }
+    let report = m.run().unwrap();
+    report.bus
+}
+
+fn print_abort_breakdown(label: &str, bus: &BusStats) {
+    const KINDS: [BusTxKind; 4] = [
+        BusTxKind::ReadShared,
+        BusTxKind::ReadPrivate,
+        BusTxKind::AssertOwnership,
+        BusTxKind::Notify,
+    ];
+    let per_kind: Vec<String> = KINDS
+        .iter()
+        .filter(|&&k| bus.abort_count(k) > 0)
+        .map(|&k| format!("{k:?} {}", bus.abort_count(k)))
+        .collect();
+    println!(
+        "abort breakdown ({label}): {} protocol + {} injected ({})",
+        bus.protocol_aborts(),
+        bus.injected_aborts,
+        if per_kind.is_empty() { "none".into() } else { per_kind.join(", ") }
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     banner("Engine throughput — simulator speed, not paper numbers", "n/a (perf harness)");
@@ -86,6 +137,12 @@ fn main() {
     println!(
         "event-driven machine:  {:.2}M simulated refs/s (1 cpu, {machine_refs} refs)",
         machine / 1e6
+    );
+
+    print_abort_breakdown("contended locks, clean", &contended_bus_stats(None));
+    print_abort_breakdown(
+        "contended locks, light faults",
+        &contended_bus_stats(Some(FaultRates::light())),
     );
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);

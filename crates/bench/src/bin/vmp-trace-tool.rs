@@ -7,6 +7,7 @@
 //! vmp-trace-tool analyze trace.vmpt
 //! vmp-trace-tool simulate trace.vmpt --page 256 --assoc 4 --kb 128
 //! vmp-trace-tool sweep trace.vmpt --assoc 4   # full geometry grid, parallel
+//! vmp-trace-tool chaos --plans 100 --seed 0   # fault-injection soak
 //! ```
 
 use std::fs::File;
@@ -15,12 +16,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use vmp_cache::{classify_misses, CacheConfig};
+use vmp_core::workloads::{LockDiscipline, LockWorker, SweepWorker};
+use vmp_core::{Machine, MachineConfig, WatchdogConfig};
+use vmp_faults::{FaultPlan, FaultRates};
 use vmp_sweep::{SweepJob, SweepPool};
 use vmp_trace::synth::{AtumParams, AtumWorkload};
 use vmp_trace::{
     read_binary, read_text, reuse_distances, working_set_sizes, write_binary, write_text, Trace,
 };
-use vmp_types::PageSize;
+use vmp_types::{Asid, Nanos, PageSize, VirtAddr};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -28,10 +32,13 @@ fn usage() -> ExitCode {
          vmp-trace-tool convert IN OUT\n  \
          vmp-trace-tool analyze FILE [--page BYTES]\n  \
          vmp-trace-tool simulate FILE [--page BYTES] [--assoc N] [--kb N]\n  \
-         vmp-trace-tool sweep FILE [--assoc N] [--threads N]\n\n\
+         vmp-trace-tool sweep FILE [--assoc N] [--threads N]\n  \
+         vmp-trace-tool chaos [--plans N] [--seed S] [--threads N]\n\n\
          files ending in .txt use the text format; anything else is binary;\n\
          sweep runs the full page-size x cache-size grid in parallel\n\
-         (thread count: --threads, else VMP_THREADS, else all cores)"
+         (thread count: --threads, else VMP_THREADS, else all cores);\n\
+         chaos soaks the machine under N seeded fault plans per workload,\n\
+         asserting faults cost time but never correctness"
     );
     ExitCode::FAILURE
 }
@@ -196,11 +203,164 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
+        Some("chaos") => {
+            let plans: u64 = flag(&args, "--plans")
+                .unwrap_or_else(|| "100".into())
+                .parse()
+                .map_err(|e| format!("bad --plans: {e}"))?;
+            let base: u64 = flag(&args, "--seed")
+                .unwrap_or_else(|| "0".into())
+                .parse()
+                .map_err(|e| format!("bad --seed: {e}"))?;
+            let mut pool = SweepPool::new();
+            if let Some(n) = flag(&args, "--threads") {
+                pool = pool.threads(n.parse().map_err(|e| format!("bad --threads: {e}"))?);
+            }
+
+            // Zero-fault oracle per workload: the probe words every
+            // faulted run must reproduce exactly.
+            let oracle: Vec<Vec<Option<u32>>> = (0..CHAOS_WORKLOADS)
+                .map(|w| {
+                    let mut m = chaos_machine(w);
+                    m.run().map_err(|e| format!("oracle workload {w}: {e}"))?;
+                    m.validate().map_err(|e| format!("oracle workload {w} invalid: {e}"))?;
+                    Ok(chaos_probes(&m))
+                })
+                .collect::<Result<_, String>>()?;
+
+            let mut jobs = Vec::new();
+            for w in 0..CHAOS_WORKLOADS {
+                for seed in base..base + plans {
+                    jobs.push(SweepJob::new(format!("w{w}/s{seed}"), (w, seed)));
+                }
+            }
+            println!(
+                "soaking {} fault plans ({} workloads x {} seeds from {}) on {} thread(s)",
+                jobs.len(),
+                CHAOS_WORKLOADS,
+                plans,
+                base,
+                pool.effective_threads()
+            );
+            let start = std::time::Instant::now();
+            let outcomes = pool.run(jobs, |job| {
+                let (w, seed) = job.input;
+                let rates =
+                    if seed.is_multiple_of(2) { FaultRates::light() } else { FaultRates::heavy() };
+                let mut m = chaos_machine(w);
+                m.install_fault_hook(FaultPlan::new(seed, rates));
+                let error = m.run().err().map(|e| e.to_string());
+                let invalid = m.validate().err();
+                (w, seed, error, invalid, chaos_probes(&m), *m.fault_stats())
+            });
+            let wall = start.elapsed();
+
+            let mut failures = 0u64;
+            let mut totals = vmp_core::FaultStats::default();
+            for (w, seed, error, invalid, probes, faults) in &outcomes {
+                let mut complain = |what: &str| {
+                    eprintln!("FAIL workload {w} seed {seed}: {what}");
+                    failures += 1;
+                };
+                if let Some(e) = error {
+                    complain(&format!("run failed: {e}"));
+                } else if let Some(e) = invalid {
+                    complain(&format!("validate failed: {e}"));
+                } else if probes != &oracle[*w] {
+                    complain("final memory diverged from zero-fault oracle");
+                }
+                totals.injected_aborts += faults.injected_aborts;
+                totals.dropped_words += faults.dropped_words;
+                totals.forced_overflows += faults.forced_overflows;
+                totals.copier_retries += faults.copier_retries;
+                totals.stalls += faults.stalls;
+            }
+            println!(
+                "absorbed {} faults: {} aborts, {} dropped words, {} forced overflows, \
+                 {} copier retries, {} stalls",
+                totals.total(),
+                totals.injected_aborts,
+                totals.dropped_words,
+                totals.forced_overflows,
+                totals.copier_retries,
+                totals.stalls
+            );
+            println!(
+                "{} runs in {:.2}s: {} ok, {} failed",
+                outcomes.len(),
+                wall.as_secs_f64(),
+                outcomes.len() as u64 - failures,
+                failures
+            );
+            if failures > 0 {
+                return Err(format!("{failures} chaos runs violated fault transparency"));
+            }
+            Ok(())
+        }
         _ => {
             usage();
             Err(String::new())
         }
     }
+}
+
+/// Number of distinct workloads the `chaos` subcommand soaks.
+const CHAOS_WORKLOADS: usize = 4;
+
+/// Builds one of the chaos workloads: all have schedule-independent final
+/// state, so a faulted run must reproduce the zero-fault probe words.
+fn chaos_machine(workload: usize) -> Machine {
+    let mut config = MachineConfig::small();
+    config.validate_each_step = false;
+    config.audit_every = Some(64);
+    config.watchdog = Some(WatchdogConfig::default());
+    config.max_time = Nanos::from_ms(60_000);
+    let page = config.cache.page_size().bytes();
+    let mut m = Machine::build(config).expect("small config is valid");
+    match workload {
+        // Disjoint page sweeps: no sharing at all.
+        0 => {
+            m.set_program(0, SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 4, 4, 3, true))
+                .unwrap();
+            m.set_program(1, SweepWorker::new(VirtAddr::new(0x8000), 2 * page / 4, 4, 3, true))
+                .unwrap();
+        }
+        // A shared counter under spin (1) and notification (2) locks.
+        1 | 2 => {
+            let d = if workload == 1 { LockDiscipline::Spin } else { LockDiscipline::Notify };
+            for cpu in 0..2 {
+                m.set_program(
+                    cpu,
+                    LockWorker::new(
+                        d,
+                        VirtAddr::new(0x1000),
+                        VirtAddr::new(0x2000),
+                        8,
+                        Nanos::from_us(2),
+                        Nanos::from_us(3),
+                    ),
+                )
+                .unwrap();
+            }
+        }
+        // False sharing: interleaved words of the same pages, one writer
+        // per word, maximal ownership ping-pong.
+        _ => {
+            m.set_program(0, SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 8, 8, 3, true))
+                .unwrap();
+            m.set_program(1, SweepWorker::new(VirtAddr::new(0x4004), 2 * page / 8, 8, 3, true))
+                .unwrap();
+        }
+    }
+    m
+}
+
+/// Final words whose values must be fault-independent.
+fn chaos_probes(m: &Machine) -> Vec<Option<u32>> {
+    [0x1000u64, 0x2000, 0x4000, 0x4004, 0x40fc, 0x8000, 0x80fc]
+        .iter()
+        .map(|&a| m.peek_word(Asid::new(1), VirtAddr::new(a)))
+        .collect()
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,108 @@
+//! Fault-injection hook points at the bus/monitor/memory boundary.
+//!
+//! The VMP protocol's robustness story (§3.2–§3.3) rests on three
+//! recovery mechanisms: aborted transactions are retried, dropped
+//! interrupt words are repaired by the FIFO-overflow recovery path, and
+//! transient copier errors are absorbed by bounded retries. A
+//! [`FaultHook`] lets a test harness exercise those paths
+//! deterministically: the machine consults the hook at each boundary and
+//! the hook decides — typically from a seeded RNG — whether to perturb
+//! the operation.
+//!
+//! Every method has a no-op default, so the zero-fault build (no hook
+//! installed) compiles to the existing hot path. Implementations live
+//! outside this crate (see `vmp-faults`); the trait sits here because the
+//! hook's vocabulary is the bus layer's: [`BusTransaction`],
+//! [`InterruptWord`], frames and processors.
+//!
+//! Injected faults must preserve the protocol's externally visible
+//! semantics ("fault transparency"): they may cost simulated time, but
+//! never correctness. The contract per method documents how the machine
+//! keeps each perturbation inside the envelope the recovery machinery
+//! can handle (e.g. a dropped interrupt word always sets the sticky
+//! overflow flag, so it is indistinguishable from a real FIFO overflow).
+
+use vmp_types::{Nanos, ProcessorId};
+
+use crate::{BusTransaction, InterruptWord};
+
+/// Decides, per boundary crossing, whether and how to inject a fault.
+///
+/// All methods take `&mut self` so implementations can drive a
+/// deterministic RNG and keep per-class counters. The machine calls the
+/// hook at fixed, documented points in its event loop, in a fixed order,
+/// so a seeded hook yields bit-identical fault schedules run over run.
+pub trait FaultHook: Send {
+    /// Extra arbitration delay imposed on `tx` before it may reserve the
+    /// bus (a starvation window: the arbiter keeps granting other
+    /// masters). Return [`Nanos::ZERO`] for no stall.
+    fn arbitration_stall(&mut self, now: Nanos, tx: &BusTransaction) -> Nanos {
+        let _ = (now, tx);
+        Nanos::ZERO
+    }
+
+    /// Whether to spuriously abort `tx` even though every monitor allowed
+    /// it. The machine only consults this for transaction kinds whose
+    /// issuer has a retry path (acquisitions and notifies) — never for
+    /// write-backs, which the protocol guarantees are not aborted.
+    fn inject_abort(&mut self, now: Nanos, tx: &BusTransaction) -> bool {
+        let _ = (now, tx);
+        false
+    }
+
+    /// Whether to drop the interrupt word that `observer`'s monitor just
+    /// queued. The machine models the drop as a FIFO overflow (sticky
+    /// flag set), so the §3.3 recovery path repairs the lost state.
+    fn drop_interrupt_word(
+        &mut self,
+        now: Nanos,
+        observer: ProcessorId,
+        word: &InterruptWord,
+    ) -> bool {
+        let _ = (now, observer, word);
+        false
+    }
+
+    /// Whether to force `observer`'s monitor into the overflowed state
+    /// (sticky flag only; no word is lost), making software run the full
+    /// recovery scan spuriously.
+    fn force_overflow(&mut self, now: Nanos, observer: ProcessorId) -> bool {
+        let _ = (now, observer);
+        false
+    }
+
+    /// Number of failed block-copier attempts before `tx`'s transfer
+    /// succeeds. Each failed attempt costs one extra transfer time on the
+    /// bus; the machine clamps the count to its bounded-retry budget.
+    fn copier_failures(&mut self, now: Nanos, tx: &BusTransaction) -> u32 {
+        let _ = (now, tx);
+        0
+    }
+}
+
+/// A hook that never injects anything — equivalent to running with no
+/// hook installed; useful as a placebo in harnesses that want one code
+/// path for both faulted and clean runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BusTxKind;
+    use vmp_types::FrameNum;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let mut h = NoFaults;
+        let tx = BusTransaction::new(BusTxKind::ReadShared, FrameNum::new(1), ProcessorId::new(0));
+        let word = InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer };
+        assert_eq!(h.arbitration_stall(Nanos::ZERO, &tx), Nanos::ZERO);
+        assert!(!h.inject_abort(Nanos::ZERO, &tx));
+        assert!(!h.drop_interrupt_word(Nanos::ZERO, ProcessorId::new(1), &word));
+        assert!(!h.force_overflow(Nanos::ZERO, ProcessorId::new(1)));
+        assert_eq!(h.copier_failures(Nanos::ZERO, &tx), 0);
+    }
+}

@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 
 mod action;
+mod fault;
 mod monitor;
 mod transaction;
 mod vme;
 
 pub use action::{ActionCode, ActionTable};
+pub use fault::{FaultHook, NoFaults};
 pub use monitor::{BusMonitor, InterruptWord, MonitorDecision, FIFO_CAPACITY};
 pub use transaction::{BusTransaction, BusTxKind};
 pub use vme::{BusStats, BusTimings, VmeBus};

@@ -38,6 +38,10 @@ pub struct MonitorDecision {
     /// An interrupt word was queued (or dropped, if the FIFO was full)
     /// for the local processor.
     pub interrupted: bool,
+    /// A *new* word actually entered the FIFO: `interrupted` minus the
+    /// coalesced-duplicate and overflow-drop cases. Fault injectors use
+    /// this to target only words that exist to be lost.
+    pub queued: bool,
 }
 
 /// The bus monitor: VMP's entire per-processor consistency hardware.
@@ -128,22 +132,25 @@ impl BusMonitor {
         }
         let code = self.table.get(tx.frame);
         let own = tx.issuer == self.owner;
-        let decision = match (code, own) {
-            (ActionCode::Ignore, _) => MonitorDecision::default(),
+        const PASS: (bool, bool) = (false, false);
+        const INTERRUPT: (bool, bool) = (false, true);
+        const ABORT_INTERRUPT: (bool, bool) = (true, true);
+        let (abort, interrupted) = match (code, own) {
+            (ActionCode::Ignore, _) => PASS,
 
             // Shared copy held. Foreign ownership requests interrupt (we
             // must invalidate); foreign write-back is a protocol
             // violation: abort + interrupt. Self transactions only update
             // the table (handled by the issuing CPU's software).
             (ActionCode::InterruptOnOwnership, false) => match tx.kind {
-                k if k.requests_ownership() => MonitorDecision { abort: false, interrupted: true },
+                k if k.requests_ownership() => INTERRUPT,
                 // Stale-sharer race: the legitimate owner is writing back
                 // before our invalidation word was serviced. Never abort a
                 // write-back; let the handler drop the stale copy.
-                BusTxKind::WriteBack => MonitorDecision { abort: false, interrupted: true },
-                _ => MonitorDecision::default(),
+                BusTxKind::WriteBack => INTERRUPT,
+                _ => PASS,
             },
-            (ActionCode::InterruptOnOwnership, true) => MonitorDecision::default(),
+            (ActionCode::InterruptOnOwnership, true) => PASS,
 
             // Private copy held (or DMA protect). Any foreign
             // consistency-related transaction aborts + interrupts. A self
@@ -151,43 +158,44 @@ impl BusMonitor {
             // through a virtual-address alias: abort + interrupt (§3.3).
             // A self write-back is the release path: never aborted.
             (ActionCode::Protect, false) => match tx.kind {
-                BusTxKind::Notify => MonitorDecision::default(),
-                _ => MonitorDecision { abort: true, interrupted: true },
+                BusTxKind::Notify => PASS,
+                _ => ABORT_INTERRUPT,
             },
             (ActionCode::Protect, true) => match tx.kind {
                 BusTxKind::ReadShared | BusTxKind::ReadPrivate | BusTxKind::AssertOwnership => {
-                    MonitorDecision { abort: true, interrupted: true }
+                    ABORT_INTERRUPT
                 }
-                _ => MonitorDecision::default(),
+                _ => PASS,
             },
 
             // Notification watch.
             (ActionCode::NotifyWatch, _) => match tx.kind {
-                BusTxKind::Notify if !own => MonitorDecision { abort: false, interrupted: true },
-                _ => MonitorDecision::default(),
+                BusTxKind::Notify if !own => INTERRUPT,
+                _ => PASS,
             },
         };
-        if decision.interrupted {
-            self.queue(InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer });
-        }
-        decision
+        let queued = interrupted
+            && self.queue(InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer });
+        MonitorDecision { abort, interrupted, queued }
     }
 
-    fn queue(&mut self, word: InterruptWord) {
+    fn queue(&mut self, word: InterruptWord) -> bool {
         // Coalesce: a word identical to one already pending carries no
         // new information for the handler (the condition is per-frame and
         // the service routine is idempotent), so the monitor suppresses
         // it instead of letting rapid retries of one aborted transaction
         // flood the FIFO.
         if self.fifo.iter().any(|w| *w == word) {
-            return;
+            return false;
         }
         if self.fifo.len() >= FIFO_CAPACITY {
             self.overflow = true;
             self.dropped_total += 1;
+            false
         } else {
             self.fifo.push_back(word);
             self.queued_total += 1;
+            true
         }
     }
 
@@ -207,6 +215,25 @@ impl BusMonitor {
     /// the queue wholesale after rebuilding state from scratch).
     pub fn drain(&mut self) {
         self.fifo.clear();
+    }
+
+    /// Removes the most recently queued word and sets the sticky
+    /// overflow flag, exactly as if the FIFO had been full when the word
+    /// arrived (fault injection: a lost word is only recoverable if it
+    /// is indistinguishable from an overflow drop, so software runs the
+    /// §3.3 recovery scan). Returns the dropped word, if any.
+    pub fn drop_newest(&mut self) -> Option<InterruptWord> {
+        let word = self.fifo.pop_back()?;
+        self.overflow = true;
+        self.dropped_total += 1;
+        Some(word)
+    }
+
+    /// Sets the sticky overflow flag without dropping anything: software
+    /// will run the recovery scan spuriously. Used by fault injection to
+    /// exercise the recovery path on an intact FIFO.
+    pub fn force_overflow(&mut self) {
+        self.overflow = true;
     }
 
     /// Number of pending interrupt words.
@@ -396,6 +423,45 @@ mod tests {
         m.observe(&tx(BusTxKind::ReadPrivate, 6, 2));
         m.observe(&tx(BusTxKind::ReadShared, 6, 1));
         assert_eq!(m.pending(), 3);
+    }
+
+    #[test]
+    fn queued_flag_tracks_actual_fifo_entry() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(6), ActionCode::Protect);
+        let d = m.observe(&tx(BusTxKind::ReadPrivate, 6, 1));
+        assert!(d.interrupted && d.queued, "first word enters the FIFO");
+        let d = m.observe(&tx(BusTxKind::ReadPrivate, 6, 1));
+        assert!(d.interrupted && !d.queued, "coalesced duplicate is not queued");
+    }
+
+    #[test]
+    fn drop_newest_models_overflow() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(1), ActionCode::InterruptOnOwnership);
+        m.table_mut().set(FrameNum::new(2), ActionCode::InterruptOnOwnership);
+        m.observe(&tx(BusTxKind::ReadPrivate, 1, 1));
+        m.observe(&tx(BusTxKind::ReadPrivate, 2, 1));
+        let dropped = m.drop_newest().unwrap();
+        assert_eq!(dropped.frame, FrameNum::new(2), "newest word is dropped");
+        assert!(m.overflowed(), "drop sets the sticky flag");
+        assert_eq!(m.dropped_total(), 1);
+        assert_eq!(m.pending(), 1, "older word survives");
+        m.clear_overflow();
+        m.drain();
+        assert!(m.drop_newest().is_none(), "empty FIFO drops nothing");
+        assert!(!m.overflowed(), "no-op drop leaves the flag clear");
+    }
+
+    #[test]
+    fn force_overflow_sets_flag_without_loss() {
+        let mut m = monitor();
+        m.table_mut().set(FrameNum::new(1), ActionCode::InterruptOnOwnership);
+        m.observe(&tx(BusTxKind::ReadPrivate, 1, 1));
+        m.force_overflow();
+        assert!(m.overflowed());
+        assert_eq!(m.pending(), 1, "no word lost");
+        assert_eq!(m.dropped_total(), 0);
     }
 
     #[test]

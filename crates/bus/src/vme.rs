@@ -36,8 +36,13 @@ impl Default for BusTimings {
 pub struct BusStats {
     /// Completed transactions by kind (see [`BusStats::count`]).
     counts: [u64; 8],
-    /// Aborted transactions (by any monitor).
+    /// Aborted transactions by kind (see [`BusStats::abort_count`]).
+    abort_counts: [u64; 8],
+    /// Aborted transactions (by any monitor, plus injected ones).
     pub aborts: u64,
+    /// Aborts injected by a fault hook rather than demanded by the
+    /// protocol (always ≤ `aborts`).
+    pub injected_aborts: u64,
     /// Aggregate bus-busy time.
     pub busy: BusyTracker,
 }
@@ -61,6 +66,16 @@ impl BusStats {
         self.counts[Self::kind_index(kind)]
     }
 
+    /// Aborted transactions of the given kind (protocol + injected).
+    pub fn abort_count(&self, kind: BusTxKind) -> u64 {
+        self.abort_counts[Self::kind_index(kind)]
+    }
+
+    /// Aborts demanded by the protocol itself (total minus injected).
+    pub fn protocol_aborts(&self) -> u64 {
+        self.aborts - self.injected_aborts
+    }
+
     /// Total completed transactions of all kinds.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -74,7 +89,11 @@ impl BusStats {
 
 impl fmt::Display for BusStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "bus: {} tx ({} aborts), busy {}", self.total(), self.aborts, self.busy.busy())
+        write!(f, "bus: {} tx ({} aborts), busy {}", self.total(), self.aborts, self.busy.busy())?;
+        if self.injected_aborts > 0 {
+            write!(f, " [{} injected]", self.injected_aborts)?;
+        }
+        Ok(())
     }
 }
 
@@ -219,13 +238,19 @@ impl VmeBus {
         self.stats.busy.add_busy(dur);
     }
 
-    /// Records an aborted transaction. The abort happens in the address
-    /// phase — "the bus transaction is terminated at the end of the
-    /// current memory reference" (§3.2) — so it consumes only its own
-    /// short check window and does not delay transfers already queued:
-    /// `free_at` is left unchanged.
-    pub fn abort(&mut self) {
+    /// Records an aborted transaction of the given kind. The abort
+    /// happens in the address phase — "the bus transaction is terminated
+    /// at the end of the current memory reference" (§3.2) — so it
+    /// consumes only its own short check window and does not delay
+    /// transfers already queued: `free_at` is left unchanged.
+    /// `injected` marks aborts forced by a fault hook rather than
+    /// demanded by a monitor's action table.
+    pub fn abort(&mut self, kind: BusTxKind, injected: bool) {
         self.stats.aborts += 1;
+        self.stats.abort_counts[BusStats::kind_index(kind)] += 1;
+        if injected {
+            self.stats.injected_aborts += 1;
+        }
         self.stats.busy.add_busy(self.abort_duration());
     }
 }
@@ -302,8 +327,12 @@ mod tests {
         let full = bus.duration(BusTxKind::ReadShared);
         let abort = bus.abort_duration();
         assert!(abort < full / 10, "abort {abort} vs full {full}");
-        bus.abort();
+        bus.abort(BusTxKind::ReadShared, false);
         assert_eq!(bus.stats().aborts, 1);
+        assert_eq!(bus.stats().abort_count(BusTxKind::ReadShared), 1);
+        assert_eq!(bus.stats().abort_count(BusTxKind::ReadPrivate), 0);
+        assert_eq!(bus.stats().protocol_aborts(), 1);
+        assert_eq!(bus.stats().injected_aborts, 0);
         assert_eq!(bus.stats().busy.busy(), abort);
         // An abort must not delay queued transfers (address-phase only).
         let d = bus.duration(BusTxKind::ReadShared);
@@ -323,6 +352,20 @@ mod tests {
         assert_eq!(bus.stats().count(BusTxKind::WriteBack), 0);
         assert_eq!(bus.stats().total(), 3);
         assert!(bus.stats().to_string().contains("3 tx"));
+    }
+
+    #[test]
+    fn injected_aborts_counted_separately() {
+        let mut bus = VmeBus::new(PageSize::S256);
+        bus.abort(BusTxKind::AssertOwnership, false);
+        bus.abort(BusTxKind::AssertOwnership, true);
+        bus.abort(BusTxKind::Notify, true);
+        assert_eq!(bus.stats().aborts, 3);
+        assert_eq!(bus.stats().injected_aborts, 2);
+        assert_eq!(bus.stats().protocol_aborts(), 1);
+        assert_eq!(bus.stats().abort_count(BusTxKind::AssertOwnership), 2);
+        assert_eq!(bus.stats().abort_count(BusTxKind::Notify), 1);
+        assert!(bus.stats().to_string().contains("[2 injected]"));
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct CpuTimings {
     /// "suspends for a timeout period" (§5.4), which also covers the
     /// missed-wakeup race between watch setup and notification.
     pub notify_timeout: Nanos,
+    /// Cap on the exponential retry-backoff streak: the backoff grows as
+    /// `retry_backoff << min(streak, max_retry_streak)`. Larger caps
+    /// spread contending retriers further apart at the cost of latency
+    /// after a burst of aborts.
+    pub max_retry_streak: u32,
 }
 
 impl Default for CpuTimings {
@@ -56,6 +61,69 @@ impl Default for CpuTimings {
             retry_backoff: Nanos::from_ns(1_000),
             overflow_recovery_per_slot: Nanos::from_ns(200),
             notify_timeout: Nanos::from_us(500),
+            max_retry_streak: 3,
+        }
+    }
+}
+
+/// Liveness-watchdog thresholds.
+///
+/// Each limit of `0` (or [`Nanos::ZERO`]) means "derive a generous
+/// default from the machine's timing configuration" — see the field
+/// docs. The derived limits are far beyond anything a healthy machine
+/// produces under the protocol's own recovery paths, so a watchdog trip
+/// always indicates genuine starvation (or an out-of-contract fault
+/// plan), never an unlucky-but-recovering run.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_core::{CpuTimings, WatchdogConfig};
+///
+/// let w = WatchdogConfig::default();
+/// let cpu = CpuTimings::default();
+/// assert_eq!(w.effective_retry_streak_limit(&cpu), 128);
+/// assert_eq!(w.effective_zero_yield_limit(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatchdogConfig {
+    /// A single reference aborting and retrying this many consecutive
+    /// times is starvation. `0` derives `32 × (max_retry_streak + 1)`.
+    pub retry_streak_limit: u64,
+    /// An interrupt word (or sticky overflow flag) left unserviced this
+    /// long is a dropped wakeup. Zero derives `100 × notify_timeout`.
+    pub interrupt_lag_limit: Nanos,
+    /// A processor acquiring this many pages in a row with zero
+    /// successful references between them is thrashing without progress.
+    /// `0` derives `64`.
+    pub zero_yield_limit: u64,
+}
+
+impl WatchdogConfig {
+    /// The retry-streak limit after derivation.
+    pub fn effective_retry_streak_limit(&self, cpu: &CpuTimings) -> u64 {
+        if self.retry_streak_limit != 0 {
+            self.retry_streak_limit
+        } else {
+            32 * (u64::from(cpu.max_retry_streak) + 1)
+        }
+    }
+
+    /// The interrupt-service lag limit after derivation.
+    pub fn effective_interrupt_lag_limit(&self, cpu: &CpuTimings) -> Nanos {
+        if self.interrupt_lag_limit != Nanos::ZERO {
+            self.interrupt_lag_limit
+        } else {
+            cpu.notify_timeout * 100
+        }
+    }
+
+    /// The zero-yield acquisition limit after derivation.
+    pub fn effective_zero_yield_limit(&self) -> u64 {
+        if self.zero_yield_limit != 0 {
+            self.zero_yield_limit
+        } else {
+            64
         }
     }
 }
@@ -89,6 +157,15 @@ pub struct MachineConfig {
     /// Run the protocol invariant validator after every processor step
     /// (slow; intended for tests).
     pub validate_each_step: bool,
+    /// Run the protocol invariant validator every N delivered events,
+    /// surfacing violations as [`crate::MachineError::AuditFailed`]. A
+    /// cheaper production-style middle ground between `validate_each_step`
+    /// and no checking at all. `None` disables the audit.
+    pub audit_every: Option<u64>,
+    /// Liveness watchdog thresholds; `None` disables the watchdog (the
+    /// default, so benign runs are bit-identical with or without this
+    /// subsystem compiled in).
+    pub watchdog: Option<WatchdogConfig>,
     /// Stop the simulation at this time even if programs have not halted.
     pub max_time: Nanos,
 }
@@ -105,6 +182,8 @@ impl Default for MachineConfig {
             mem_timings: MemTimings::default(),
             cpu: CpuTimings::default(),
             validate_each_step: false,
+            audit_every: None,
+            watchdog: None,
             max_time: Nanos::from_ms(10_000),
         }
     }
@@ -144,6 +223,9 @@ impl MachineConfig {
             return Err(ConfigError::Inconsistent {
                 what: "memory must be a whole number of cache pages",
             });
+        }
+        if self.audit_every == Some(0) {
+            return Err(ConfigError::ZeroCount { what: "audit_every interval" });
         }
         Ok(())
     }
@@ -186,6 +268,32 @@ mod tests {
         let t = CpuTimings::default();
         assert_eq!((t.miss_pre + t.miss_mid + t.miss_post).as_micros_f64(), 13.6);
         assert_eq!(t.upgrade_software, t.miss_pre + t.miss_post);
+    }
+
+    #[test]
+    fn audit_interval_must_be_positive() {
+        let c = MachineConfig { audit_every: Some(0), ..MachineConfig::default() };
+        assert!(c.check().is_err());
+        let c = MachineConfig { audit_every: Some(1), ..MachineConfig::default() };
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn watchdog_limits_derive_from_timings() {
+        let cpu = CpuTimings::default();
+        let w = WatchdogConfig::default();
+        assert_eq!(w.effective_retry_streak_limit(&cpu), 32 * 4);
+        assert_eq!(w.effective_interrupt_lag_limit(&cpu), Nanos::from_ms(50));
+        assert_eq!(w.effective_zero_yield_limit(), 64);
+        // Explicit limits win over derivation.
+        let w = WatchdogConfig {
+            retry_streak_limit: 7,
+            interrupt_lag_limit: Nanos::from_us(3),
+            zero_yield_limit: 2,
+        };
+        assert_eq!(w.effective_retry_streak_limit(&cpu), 7);
+        assert_eq!(w.effective_interrupt_lag_limit(&cpu), Nanos::from_us(3));
+        assert_eq!(w.effective_zero_yield_limit(), 2);
     }
 }
 
@@ -264,6 +372,27 @@ impl MachineBuilder {
     /// Enables or disables per-event invariant validation.
     pub fn validate_each_step(mut self, on: bool) -> Self {
         self.config.validate_each_step = on;
+        self
+    }
+
+    /// Runs the invariant validator every `events` delivered events
+    /// (`None` disables the audit).
+    pub fn audit_every(mut self, events: Option<u64>) -> Self {
+        self.config.audit_every = events;
+        self
+    }
+
+    /// Arms the liveness watchdog with the given thresholds
+    /// (`WatchdogConfig::default()` derives everything from the timing
+    /// configuration).
+    pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.config.watchdog = Some(config);
+        self
+    }
+
+    /// Sets the cap on the exponential retry-backoff streak.
+    pub fn max_retry_streak(mut self, cap: u32) -> Self {
+        self.config.cpu.max_retry_streak = cap;
         self
     }
 

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use vmp_types::{Asid, ConfigError, ProcessorId, VirtAddr};
+use vmp_types::{Asid, ConfigError, Nanos, ProcessorId, VirtAddr};
 
 /// Errors from building or driving a [`crate::Machine`].
 #[derive(Debug)]
@@ -40,6 +40,83 @@ pub enum MachineError {
         /// The unmapped address.
         addr: VirtAddr,
     },
+    /// The liveness watchdog detected starvation: some processor stopped
+    /// making forward progress in a way the protocol's own recovery
+    /// machinery can never repair.
+    Watchdog(WatchdogViolation),
+    /// A periodic invariant audit (`audit_every`) found the machine in an
+    /// inconsistent state.
+    AuditFailed {
+        /// Simulated time of the failing audit.
+        at: Nanos,
+        /// The validator's description of the violation.
+        detail: String,
+    },
+}
+
+/// A specific liveness failure the watchdog detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WatchdogViolation {
+    /// One reference aborted and retried past the configured streak
+    /// limit: the backoff protocol is not converging.
+    RetryStreak {
+        /// The starving processor.
+        cpu: ProcessorId,
+        /// Consecutive aborted attempts observed.
+        streak: u64,
+        /// The configured (or derived) limit it exceeded.
+        limit: u64,
+    },
+    /// An interrupt word or sticky overflow flag sat unserviced longer
+    /// than the lag limit: a wakeup has effectively been lost.
+    InterruptStarved {
+        /// The processor whose monitor is being ignored.
+        cpu: ProcessorId,
+        /// How long attention has been pending.
+        waited: Nanos,
+        /// The configured (or derived) limit it exceeded.
+        limit: Nanos,
+    },
+    /// A processor kept acquiring pages without completing a single
+    /// reference in between: ping-pong thrashing with zero yield.
+    ZeroYieldAcquires {
+        /// The thrashing processor.
+        cpu: ProcessorId,
+        /// Consecutive acquisitions with no completed reference.
+        acquires: u64,
+        /// The configured (or derived) limit it exceeded.
+        limit: u64,
+    },
+    /// An in-step kernel service loop (flush/fetch) exceeded its
+    /// iteration cap: the machine is livelocked inside one event.
+    KernelLoopStuck {
+        /// The processor running the stuck loop.
+        cpu: ProcessorId,
+        /// Which loop got stuck.
+        what: &'static str,
+        /// Iterations executed before giving up.
+        iterations: u64,
+    },
+}
+
+impl fmt::Display for WatchdogViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchdogViolation::RetryStreak { cpu, streak, limit } => {
+                write!(f, "{cpu} retried one reference {streak} times (limit {limit})")
+            }
+            WatchdogViolation::InterruptStarved { cpu, waited, limit } => {
+                write!(f, "{cpu} monitor unserviced for {waited} (limit {limit})")
+            }
+            WatchdogViolation::ZeroYieldAcquires { cpu, acquires, limit } => {
+                write!(f, "{cpu} acquired {acquires} pages with zero references (limit {limit})")
+            }
+            WatchdogViolation::KernelLoopStuck { cpu, what, iterations } => {
+                write!(f, "{cpu} stuck in {what} after {iterations} iterations")
+            }
+        }
+    }
 }
 
 impl fmt::Display for MachineError {
@@ -58,6 +135,10 @@ impl fmt::Display for MachineError {
             MachineError::InvariantViolated(msg) => write!(f, "protocol invariant violated: {msg}"),
             MachineError::UnmappedNotify { asid, addr } => {
                 write!(f, "notify on unmapped address {addr} in {asid}")
+            }
+            MachineError::Watchdog(v) => write!(f, "liveness watchdog: {v}"),
+            MachineError::AuditFailed { at, detail } => {
+                write!(f, "invariant audit failed at {at}: {detail}")
             }
         }
     }
@@ -106,5 +187,35 @@ mod tests {
     fn is_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<MachineError>();
+        check::<WatchdogViolation>();
+    }
+
+    #[test]
+    fn watchdog_violations_display() {
+        let v =
+            WatchdogViolation::RetryStreak { cpu: ProcessorId::new(1), streak: 200, limit: 128 };
+        let e = MachineError::Watchdog(v.clone());
+        assert!(e.to_string().contains("watchdog"), "{e}");
+        assert!(v.to_string().contains("200"), "{v}");
+        let v = WatchdogViolation::InterruptStarved {
+            cpu: ProcessorId::new(0),
+            waited: Nanos::from_ms(60),
+            limit: Nanos::from_ms(50),
+        };
+        assert!(v.to_string().contains("unserviced"), "{v}");
+        let v = WatchdogViolation::ZeroYieldAcquires {
+            cpu: ProcessorId::new(2),
+            acquires: 65,
+            limit: 64,
+        };
+        assert!(v.to_string().contains("zero references"), "{v}");
+        let v = WatchdogViolation::KernelLoopStuck {
+            cpu: ProcessorId::new(0),
+            what: "flush-own-then-assert",
+            iterations: 4096,
+        };
+        assert!(v.to_string().contains("stuck"), "{v}");
+        let e = MachineError::AuditFailed { at: Nanos::from_us(9), detail: "two owners".into() };
+        assert!(e.to_string().contains("audit") && e.to_string().contains("two owners"), "{e}");
     }
 }

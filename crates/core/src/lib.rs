@@ -55,11 +55,11 @@ mod stats;
 mod validate;
 pub mod workloads;
 
-pub use config::{CpuTimings, MachineBuilder, MachineConfig};
+pub use config::{CpuTimings, MachineBuilder, MachineConfig, WatchdogConfig};
 pub use dma::{DmaDevice, DmaDirection, DmaRequest};
-pub use error::MachineError;
+pub use error::{MachineError, WatchdogViolation};
 pub use kernel::Kernel;
 pub use machine::Machine;
 pub use phys_index::PhysIndex;
 pub use program::{sweep_refs, Op, OpResult, Program, ScriptProgram, TraceProgram};
-pub use stats::{MachineReport, ProcessorStats};
+pub use stats::{FaultStats, MachineReport, ProcessorStats};

@@ -3,17 +3,19 @@
 
 use std::collections::BTreeMap;
 
-use vmp_bus::{ActionCode, BusMonitor, BusTransaction, BusTxKind, InterruptWord, VmeBus};
+use vmp_bus::{
+    ActionCode, BusMonitor, BusTransaction, BusTxKind, FaultHook, InterruptWord, NoFaults, VmeBus,
+};
 use vmp_cache::{DataCache, SlotFlags, SlotId, Tag};
 use vmp_mem::{LocalMemory, MainMemory};
-use vmp_sim::{EventQueue, Histogram};
+use vmp_sim::{AttentionClock, EventQueue, Histogram};
 use vmp_trace::MemRef;
 use vmp_types::{Asid, FrameNum, Nanos, PageSize, PhysAddr, ProcessorId, VirtAddr, VirtPageNum};
 
 use crate::dma::{DmaDirection, DmaEngine, DmaPhase, DmaRequest};
 use crate::{
-    Kernel, MachineConfig, MachineError, MachineReport, Op, OpResult, PhysIndex, ProcessorStats,
-    Program, TraceProgram,
+    FaultStats, Kernel, MachineConfig, MachineError, MachineReport, Op, OpResult, PhysIndex,
+    ProcessorStats, Program, TraceProgram, WatchdogViolation,
 };
 
 /// Maximum depth of nested page-table misses: the leaf PTE page is
@@ -97,6 +99,12 @@ pub(crate) struct Cpu {
     /// Consecutive aborted attempts; lengthens the retry backoff so
     /// symmetric contenders cannot phase-lock.
     retry_streak: u32,
+    /// Pages acquired since the last completed reference — thrashing
+    /// signal for the liveness watchdog (acquisitions should yield work).
+    zero_yield_acquires: u64,
+    /// Armed while this board's monitor holds unserviced interrupt words
+    /// or an unserviced overflow flag; the watchdog flags starvation.
+    attention: AttentionClock,
     /// When the current operation began (first attempt), for latency
     /// instrumentation across retries.
     op_start: Nanos,
@@ -149,6 +157,15 @@ enum ResolveOutcome {
     Restart(Nanos),
 }
 
+/// Watchdog limits with the derive-from-timings defaults already
+/// resolved at build time.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedWatchdog {
+    retry_limit: u64,
+    lag_limit: Nanos,
+    zero_yield_limit: u64,
+}
+
 /// The whole VMP machine.
 ///
 /// See the [crate documentation](crate) for an overview and example.
@@ -166,6 +183,18 @@ pub struct Machine {
     /// Backing store for reclaimed pages: the page-out daemon (§3.4)
     /// saves contents here and the page-fault path restores them.
     swap: BTreeMap<(Asid, VirtPageNum), Vec<u8>>,
+    /// Fault injector consulted at the bus/monitor/memory boundaries;
+    /// [`NoFaults`] (the default) keeps every call a no-op.
+    fault_hook: Box<dyn FaultHook>,
+    /// Machine-side accounting of the faults absorbed so far.
+    fault_stats: FaultStats,
+    /// Liveness watchdog, resolved from the configuration at build.
+    watchdog: Option<ResolvedWatchdog>,
+    /// Violation detected inside a kernel service loop (which cannot
+    /// return an error); surfaced by the event loop.
+    stuck: Option<WatchdogViolation>,
+    /// Events delivered so far, for the periodic `audit_every` check.
+    events_delivered: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -210,12 +239,19 @@ impl Machine {
                 pending_notify: None,
                 park_deadline: None,
                 retry_streak: 0,
+                zero_yield_acquires: 0,
+                attention: AttentionClock::new(),
                 op_start: Nanos::ZERO,
                 op_stalled: false,
                 miss_latency: Histogram::new(Nanos::from_us(2), 64),
                 stats: ProcessorStats::default(),
             })
             .collect();
+        let watchdog = config.watchdog.map(|w| ResolvedWatchdog {
+            retry_limit: w.effective_retry_streak_limit(&config.cpu),
+            lag_limit: w.effective_interrupt_lag_limit(&config.cpu),
+            zero_yield_limit: w.effective_zero_yield_limit(),
+        });
         Ok(Machine {
             config,
             now: Nanos::ZERO,
@@ -227,7 +263,30 @@ impl Machine {
             dmas: Vec::new(),
             dma_protected: BTreeMap::new(),
             swap: BTreeMap::new(),
+            fault_hook: Box::new(NoFaults),
+            fault_stats: FaultStats::default(),
+            watchdog,
+            stuck: None,
+            events_delivered: 0,
         })
+    }
+
+    /// Installs a fault hook consulted at the bus/monitor/memory
+    /// boundaries, replacing the previous one (initially the inert
+    /// [`NoFaults`]). Typically a `vmp-faults` `FaultPlan`.
+    pub fn install_fault_hook(&mut self, hook: impl FaultHook + 'static) {
+        self.fault_hook = Box::new(hook);
+    }
+
+    /// Removes the installed fault hook (restoring [`NoFaults`]) and
+    /// returns it, so its own injection counts can be inspected.
+    pub fn take_fault_hook(&mut self) -> Box<dyn FaultHook> {
+        std::mem::replace(&mut self.fault_hook, Box::new(NoFaults))
+    }
+
+    /// Machine-side fault accounting for the run so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// Simulated time.
@@ -452,8 +511,29 @@ impl Machine {
                     }
                 }
             }
+            if let Some(w) = self.watchdog {
+                if let Some(v) = self.stuck.take() {
+                    return Err(MachineError::Watchdog(v));
+                }
+                for c in &self.cpus {
+                    if c.attention.exceeded(self.now, w.lag_limit) {
+                        return Err(MachineError::Watchdog(WatchdogViolation::InterruptStarved {
+                            cpu: c.id,
+                            waited: c.attention.waiting(self.now).unwrap_or(Nanos::ZERO),
+                            limit: w.lag_limit,
+                        }));
+                    }
+                }
+            }
             if self.config.validate_each_step {
                 self.validate().map_err(MachineError::InvariantViolated)?;
+            }
+            if let Some(every) = self.config.audit_every {
+                self.events_delivered += 1;
+                if self.events_delivered.is_multiple_of(every) {
+                    self.validate()
+                        .map_err(|detail| MachineError::AuditFailed { at: self.now, detail })?;
+                }
             }
         }
         Ok(self.report())
@@ -465,6 +545,7 @@ impl Machine {
             elapsed: self.now,
             processors: self.cpus.iter().map(|c| c.stats.clone()).collect(),
             bus: self.bus.stats().clone(),
+            faults: self.fault_stats,
         }
     }
 
@@ -480,30 +561,93 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Issues one bus transaction at (or after) `ready`: arbitration,
-    /// monitor checks on every board, completion or abort.
+    /// monitor checks on every board, completion or abort — with the
+    /// fault hook consulted at each boundary (all of its calls are inert
+    /// no-ops under the default [`NoFaults`]).
     ///
     /// Returns `(end_time, completed)`.
     fn bus_transaction(&mut self, tx: BusTransaction, ready: Nanos) -> (Nanos, bool) {
+        // Injected arbitration stall: the arbiter keeps granting other
+        // masters before this one wins the bus.
+        let stall = self.fault_hook.arbitration_stall(self.now, &tx);
+        let ready = if stall > Nanos::ZERO {
+            self.fault_stats.stalls += 1;
+            self.fault_stats.stall_time += stall;
+            ready + stall
+        } else {
+            ready
+        };
         let mut abort = false;
         let mut interrupted: Vec<usize> = Vec::new();
+        let mut queued: Vec<usize> = Vec::new();
         for (j, cpu) in self.cpus.iter_mut().enumerate() {
             let d = cpu.monitor.observe(&tx);
             abort |= d.abort;
             if d.interrupted {
                 interrupted.push(j);
             }
+            if d.queued {
+                queued.push(j);
+            }
+        }
+        // Spurious abort injection, restricted to kinds whose issuers
+        // have a retry path. Write-backs are never aborted (a protocol
+        // guarantee the rest of the machine relies on) and plain cycles
+        // have no retry trap.
+        let mut injected = false;
+        if !abort && can_inject_abort(tx.kind) && self.fault_hook.inject_abort(self.now, &tx) {
+            abort = true;
+            injected = true;
+            self.fault_stats.injected_aborts += 1;
         }
         let end = if abort {
             // Address-phase abort: terminated immediately, the block
             // transfer never starts, queued transfers are not delayed.
-            self.bus.abort();
+            self.bus.abort(tx.kind, injected);
             ready + self.config.bus.arbitration + self.bus.abort_duration()
         } else {
-            let dur = self.bus.duration(tx.kind);
+            let mut dur = self.bus.duration(tx.kind);
+            if tx.kind.is_block_transfer() {
+                // Transient copier errors: each failed attempt occupies
+                // one full transfer slot before the bounded retry wins.
+                let failures = self.fault_hook.copier_failures(self.now, &tx);
+                if failures > 0 {
+                    let extra = dur * u64::from(failures);
+                    self.fault_stats.copier_retries += u64::from(failures);
+                    self.fault_stats.copier_retry_time += extra;
+                    dur += extra;
+                }
+            }
             let start = self.bus.reserve(ready, dur);
             self.bus.complete(tx.kind, dur);
             start + dur
         };
+        // Injected FIFO word drops: a freshly queued word vanishes, but
+        // always marks the FIFO overflowed — an injected drop is
+        // indistinguishable from a real overflow, so the §3.3 recovery
+        // scan repairs it (the fault-transparency contract).
+        for &j in &queued {
+            let word = InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer };
+            if self.fault_hook.drop_interrupt_word(self.now, self.cpus[j].id, &word)
+                && self.cpus[j].monitor.drop_newest().is_some()
+            {
+                self.fault_stats.dropped_words += 1;
+            }
+        }
+        // Forced overflow: the sticky flag rises without losing a word,
+        // triggering a spurious (but harmless) recovery scan on the
+        // issuer's own monitor.
+        if let Some(j) = self.cpus.iter().position(|c| c.id == tx.issuer) {
+            if self.fault_hook.force_overflow(self.now, self.cpus[j].id) {
+                self.cpus[j].monitor.force_overflow();
+                self.fault_stats.forced_overflows += 1;
+                self.cpus[j].attention.note(end);
+            }
+        }
+        // Track service attention for every board that now holds work.
+        for &j in &queued {
+            self.cpus[j].attention.note(end);
+        }
         // Parked, halted and computing processors service interrupts only
         // when woken; a CPU mid-memory-operation services at its end.
         for j in interrupted {
@@ -521,7 +665,7 @@ impl Machine {
     /// Backoff before retrying an aborted transaction: grows with the
     /// retry streak so symmetric contenders cannot phase-lock forever.
     fn retry_at(&mut self, cpu: usize, abort_end: Nanos) -> Nanos {
-        let streak = u64::from(self.cpus[cpu].retry_streak.min(3));
+        let streak = u64::from(self.cpus[cpu].retry_streak.min(self.config.cpu.max_retry_streak));
         self.cpus[cpu].retry_streak += 1;
         abort_end + self.config.cpu.retry_backoff * (1 + streak)
     }
@@ -549,6 +693,11 @@ impl Machine {
             };
             self.cpus[cpu].stats.consistency_interrupts += 1;
             t = self.service_word(cpu, word, t);
+        }
+        // Fully drained (service never queues words on its own monitor):
+        // stand down the starvation clock.
+        if self.cpus[cpu].monitor.pending() == 0 && !self.cpus[cpu].monitor.overflowed() {
+            self.cpus[cpu].attention.clear();
         }
         t
     }
@@ -716,7 +865,14 @@ impl Machine {
                     self.cpus[cpu].last_result = OpResult::None;
                     self.cpus[cpu].park_deadline = None;
                 } else {
-                    // Still parked (woken only to service interrupts).
+                    // Still parked (woken only to service interrupts). This
+                    // wake superseded every earlier one — including the
+                    // park-deadline wake scheduled by `Exec::Park` — so the
+                    // timeout must be re-armed or a dropped notification
+                    // strands the processor forever.
+                    if let Some(d) = self.cpus[cpu].park_deadline {
+                        self.schedule_wake(cpu, d);
+                    }
                     return Ok(());
                 }
             }
@@ -765,6 +921,24 @@ impl Machine {
             }
             Exec::Halt => {
                 self.cpus[cpu].state = CpuState::Halted;
+            }
+        }
+        if let Some(w) = self.watchdog {
+            let c = &self.cpus[cpu];
+            let streak = u64::from(c.retry_streak);
+            if streak > w.retry_limit {
+                return Err(MachineError::Watchdog(WatchdogViolation::RetryStreak {
+                    cpu: c.id,
+                    streak,
+                    limit: w.retry_limit,
+                }));
+            }
+            if c.zero_yield_acquires > w.zero_yield_limit {
+                return Err(MachineError::Watchdog(WatchdogViolation::ZeroYieldAcquires {
+                    cpu: c.id,
+                    acquires: c.zero_yield_acquires,
+                    limit: w.zero_yield_limit,
+                }));
             }
         }
         Ok(())
@@ -931,6 +1105,7 @@ impl Machine {
         let page = self.page_size();
         let offset = (page.offset_of(va.raw()) & !3) as usize;
         self.cpus[cpu].stats.refs += 1;
+        self.cpus[cpu].zero_yield_acquires = 0;
         match op {
             Op::Write(_, v) => {
                 self.cpus[cpu].stats.writes += 1;
@@ -970,6 +1145,7 @@ impl Machine {
         }
         self.cpus[cpu].cache.set_flags(cont.slot, SlotFlags::private_page());
         self.cpus[cpu].monitor.table_mut().set(cont.frame, ActionCode::Protect);
+        self.cpus[cpu].zero_yield_acquires += 1;
         self.cpus[cpu].stats.stall_time += end.saturating_sub(t);
         self.finish_access(cpu, cont.op, cont.va, cont.slot, end)
     }
@@ -1025,6 +1201,7 @@ impl Machine {
         let code =
             if cont.want_private { ActionCode::Protect } else { ActionCode::InterruptOnOwnership };
         self.cpus[cpu].monitor.table_mut().set(cont.frame, code);
+        self.cpus[cpu].zero_yield_acquires += 1;
         cont.slot
     }
 
@@ -1346,12 +1523,26 @@ impl Machine {
             }
         }
         let mut t = t;
+        let mut iterations: u64 = 0;
         loop {
             match self.fetch_page(by, Asid::KERNEL, va, true, t, 0)? {
                 FetchOutcome::Loaded { end, .. } => return Ok(end),
                 FetchOutcome::TxAborted { at, .. } | FetchOutcome::Restart(at) => {
                     let t1 = self.service_interrupts(by, at);
                     t = self.service_all_other(by, t1);
+                }
+            }
+            iterations += 1;
+            // The loop is unbounded in the benign protocol (it always
+            // converges); cap it only under a watchdog so a hostile fault
+            // plan cannot livelock the simulator inside one event.
+            if let Some(w) = self.watchdog {
+                if iterations > w.retry_limit {
+                    return Err(MachineError::Watchdog(WatchdogViolation::KernelLoopStuck {
+                        cpu: self.cpus[by].id,
+                        what: "fetch-private-for-kernel",
+                        iterations,
+                    }));
                 }
             }
         }
@@ -1377,6 +1568,7 @@ impl Machine {
         {
             return t;
         }
+        let mut iterations: u64 = 0;
         loop {
             let tx = BusTransaction::new(BusTxKind::AssertOwnership, frame, self.cpus[by].id);
             let (end, ok) = self.bus_transaction(tx, t);
@@ -1387,6 +1579,20 @@ impl Machine {
             // Some owner aborted us: let every other board service its
             // pending words (write back / invalidate), then retry.
             t = self.service_all_other(by, end + self.config.cpu.retry_backoff);
+            iterations += 1;
+            // This path cannot return an error (DMA setup drives it from
+            // the event loop), so a watchdog-capped livelock is parked in
+            // `stuck` for the event loop to surface.
+            if let Some(w) = self.watchdog {
+                if iterations > w.retry_limit {
+                    self.stuck = Some(WatchdogViolation::KernelLoopStuck {
+                        cpu: self.cpus[by].id,
+                        what: "flush-own-then-assert",
+                        iterations,
+                    });
+                    return end;
+                }
+            }
         }
     }
 
@@ -1443,7 +1649,21 @@ impl Machine {
                     DmaDirection::FromMemory => (BusTxKind::PlainRead, false),
                 };
                 let tx = BusTransaction::new(kind, frame, self.dmas[handle].id);
-                let dur = self.memory.page_transfer_time();
+                // Transient copier errors on the DMA stream: bounded
+                // retry, each failed attempt costs one transfer time.
+                let failures = self.fault_hook.copier_failures(t, &tx);
+                let dur = if failures > 0 {
+                    let total = self
+                        .memory
+                        .timings()
+                        .page_transfer_with_retries(self.page_size(), failures);
+                    let extra = total.saturating_sub(self.memory.page_transfer_time());
+                    self.fault_stats.copier_retries += u64::from(failures);
+                    self.fault_stats.copier_retry_time += extra;
+                    total
+                } else {
+                    self.memory.page_transfer_time()
+                };
                 let start = self.bus.reserve(t, dur);
                 self.bus.complete(kind, dur);
                 if write_to_mem {
@@ -1483,4 +1703,18 @@ impl Machine {
 
 fn read_u32(bytes: &[u8]) -> u32 {
     u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+/// Kinds eligible for spurious abort injection: exactly those whose
+/// issuers retry on a protocol abort. Write-backs are *never* aborted
+/// (the machine `debug_assert`s on it) and plain/table-update cycles
+/// ignore the abort line entirely.
+const fn can_inject_abort(kind: BusTxKind) -> bool {
+    matches!(
+        kind,
+        BusTxKind::ReadShared
+            | BusTxKind::ReadPrivate
+            | BusTxKind::AssertOwnership
+            | BusTxKind::Notify
+    )
 }

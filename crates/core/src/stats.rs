@@ -91,6 +91,58 @@ impl fmt::Display for ProcessorStats {
     }
 }
 
+/// Machine-side accounting of injected faults, by class: what the
+/// machine *absorbed* through its recovery paths. Mirrors the injecting
+/// hook's own counts (`vmp-faults` tracks what it handed out; these
+/// track what the machine actually paid for), so a chaos harness can
+/// cross-check the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transactions spuriously aborted by the fault hook (also folded
+    /// into the bus's injected-abort counter).
+    pub injected_aborts: u64,
+    /// Interrupt words dropped from monitor FIFOs (each marks the FIFO
+    /// overflowed, forcing a §3.3 recovery scan).
+    pub dropped_words: u64,
+    /// Sticky overflow flags forced without losing a word.
+    pub forced_overflows: u64,
+    /// Failed block-copier attempts absorbed by bounded retry.
+    pub copier_retries: u64,
+    /// Extra transfer time paid for those copier retries.
+    pub copier_retry_time: Nanos,
+    /// Arbitration stalls suffered.
+    pub stalls: u64,
+    /// Total injected arbitration-stall time.
+    pub stall_time: Nanos,
+}
+
+impl FaultStats {
+    /// Total fault events of all classes.
+    pub fn total(&self) -> u64 {
+        self.injected_aborts
+            + self.dropped_words
+            + self.forced_overflows
+            + self.copier_retries
+            + self.stalls
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults: {} aborts, {} drops, {} overflows, {} copier ({}), {} stalls ({})",
+            self.injected_aborts,
+            self.dropped_words,
+            self.forced_overflows,
+            self.copier_retries,
+            self.copier_retry_time,
+            self.stalls,
+            self.stall_time,
+        )
+    }
+}
+
 /// The result of a completed machine run.
 #[derive(Debug, Clone)]
 pub struct MachineReport {
@@ -100,6 +152,8 @@ pub struct MachineReport {
     pub processors: Vec<ProcessorStats>,
     /// Shared-bus statistics.
     pub bus: BusStats,
+    /// Faults absorbed over the run (all zero without a fault hook).
+    pub faults: FaultStats,
 }
 
 impl MachineReport {
@@ -135,7 +189,11 @@ impl fmt::Display for MachineReport {
         for (i, p) in self.processors.iter().enumerate() {
             writeln!(f, "  cpu{i}: {p}")?;
         }
-        write!(f, "  {}", self.bus)
+        write!(f, "  {}", self.bus)?;
+        if self.faults.total() > 0 {
+            write!(f, "\n  {}", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -167,11 +225,34 @@ mod tests {
             elapsed: Nanos::from_us(100),
             processors: vec![a, b],
             bus: BusStats::default(),
+            faults: FaultStats::default(),
         };
         assert_eq!(report.total_refs(), 10);
         assert_eq!(report.total_misses(), 1);
         assert_eq!(report.active_processors(), vec![ProcessorId::new(0)]);
         assert_eq!(report.bus_utilization(), 0.0);
         assert!(report.to_string().contains("cpu0"));
+        assert!(!report.to_string().contains("faults:"), "quiet runs omit the fault line");
+    }
+
+    #[test]
+    fn fault_stats_total_and_display() {
+        let f = FaultStats {
+            injected_aborts: 3,
+            dropped_words: 2,
+            stalls: 1,
+            stall_time: Nanos::from_us(4),
+            ..FaultStats::default()
+        };
+        assert_eq!(f.total(), 6);
+        let s = f.to_string();
+        assert!(s.contains("3 aborts") && s.contains("2 drops") && s.contains("1 stalls"), "{s}");
+        let report = MachineReport {
+            elapsed: Nanos::from_us(1),
+            processors: vec![],
+            bus: BusStats::default(),
+            faults: f,
+        };
+        assert!(report.to_string().contains("faults:"));
     }
 }

@@ -29,4 +29,4 @@ mod timings;
 
 pub use local::LocalMemory;
 pub use main_memory::MainMemory;
-pub use timings::MemTimings;
+pub use timings::{MemTimings, MAX_TRANSFER_RETRIES};

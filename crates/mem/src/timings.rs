@@ -57,7 +57,21 @@ impl MemTimings {
         let t = self.page_transfer(page);
         page.bytes() as f64 / t.as_secs_f64() / 1e6
     }
+
+    /// Time of a page transfer whose copier failed `failures` times
+    /// before succeeding: each failed attempt occupies a full transfer
+    /// slot (the copier detects the error only at the end of the block).
+    /// `failures` is clamped to [`MAX_TRANSFER_RETRIES`] — the bounded
+    /// retry budget of the copier path — so a transfer can never stretch
+    /// without limit.
+    pub fn page_transfer_with_retries(&self, page: PageSize, failures: u32) -> Nanos {
+        let attempts = 1 + failures.min(MAX_TRANSFER_RETRIES);
+        self.page_transfer(page) * u64::from(attempts)
+    }
 }
+
+/// Hard bound on failed copier attempts absorbed per block transfer.
+pub const MAX_TRANSFER_RETRIES: u32 = 8;
 
 #[cfg(test)]
 mod tests {
@@ -75,6 +89,19 @@ mod tests {
     fn zero_transfer_is_free() {
         assert_eq!(MemTimings::default().block_transfer(0), Nanos::ZERO);
         assert_eq!(MemTimings::default().block_transfer(1), Nanos::from_ns(300));
+    }
+
+    #[test]
+    fn retried_transfers_scale_and_clamp() {
+        let t = MemTimings::default();
+        let one = t.page_transfer(PageSize::S256);
+        assert_eq!(t.page_transfer_with_retries(PageSize::S256, 0), one);
+        assert_eq!(t.page_transfer_with_retries(PageSize::S256, 2), one * 3);
+        assert_eq!(
+            t.page_transfer_with_retries(PageSize::S256, 1_000),
+            one * u64::from(MAX_TRANSFER_RETRIES + 1),
+            "runaway failure counts clamp to the retry budget"
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Starvation instrumentation: how long has a condition been waiting?
+
+use vmp_types::Nanos;
+
+/// Tracks the onset of a condition that needs service (pending interrupt
+/// words, an unserviced overflow flag, a starving requester) and answers
+/// "how long has it been waiting?" — the primitive under a liveness
+/// watchdog.
+///
+/// The clock is level-triggered: [`AttentionClock::note`] arms it only
+/// if it is not already armed (the *oldest* unserviced onset matters),
+/// and [`AttentionClock::clear`] disarms it once the condition is fully
+/// serviced.
+///
+/// # Examples
+///
+/// ```
+/// use vmp_sim::AttentionClock;
+/// use vmp_types::Nanos;
+///
+/// let mut clock = AttentionClock::new();
+/// clock.note(Nanos::from_us(10));
+/// clock.note(Nanos::from_us(25)); // already armed: onset unchanged
+/// assert_eq!(clock.waiting(Nanos::from_us(30)), Some(Nanos::from_us(20)));
+/// assert!(clock.exceeded(Nanos::from_us(31), Nanos::from_us(20)));
+/// clock.clear();
+/// assert_eq!(clock.waiting(Nanos::from_us(40)), None);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttentionClock {
+    since: Option<Nanos>,
+}
+
+impl AttentionClock {
+    /// Creates a disarmed clock.
+    pub fn new() -> Self {
+        AttentionClock::default()
+    }
+
+    /// Arms the clock at `now` unless it is already armed.
+    pub fn note(&mut self, now: Nanos) {
+        if self.since.is_none() {
+            self.since = Some(now);
+        }
+    }
+
+    /// Disarms the clock (the condition was serviced).
+    pub fn clear(&mut self) {
+        self.since = None;
+    }
+
+    /// When the condition first needed attention, if it still does.
+    pub fn since(&self) -> Option<Nanos> {
+        self.since
+    }
+
+    /// How long the condition has been waiting at `now`; `None` when
+    /// disarmed.
+    pub fn waiting(&self, now: Nanos) -> Option<Nanos> {
+        self.since.map(|s| now.saturating_sub(s))
+    }
+
+    /// Whether the condition has waited *strictly longer* than `limit`.
+    pub fn exceeded(&self, now: Nanos, limit: Nanos) -> bool {
+        self.waiting(now).is_some_and(|w| w > limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_once_and_measures() {
+        let mut c = AttentionClock::new();
+        assert_eq!(c.waiting(Nanos::from_us(5)), None);
+        assert!(!c.exceeded(Nanos::from_us(5), Nanos::ZERO));
+        c.note(Nanos::from_us(1));
+        c.note(Nanos::from_us(3));
+        assert_eq!(c.since(), Some(Nanos::from_us(1)));
+        assert_eq!(c.waiting(Nanos::from_us(4)), Some(Nanos::from_us(3)));
+    }
+
+    #[test]
+    fn boundary_is_strict() {
+        let mut c = AttentionClock::new();
+        c.note(Nanos::ZERO);
+        assert!(!c.exceeded(Nanos::from_us(10), Nanos::from_us(10)));
+        assert!(c.exceeded(Nanos::from_us(10) + Nanos::from_ns(1), Nanos::from_us(10)));
+    }
+
+    #[test]
+    fn clear_disarms_and_rearms_fresh() {
+        let mut c = AttentionClock::new();
+        c.note(Nanos::from_us(1));
+        c.clear();
+        assert_eq!(c.since(), None);
+        c.note(Nanos::from_us(9));
+        assert_eq!(c.since(), Some(Nanos::from_us(9)));
+    }
+
+    #[test]
+    fn waiting_saturates_before_onset() {
+        let mut c = AttentionClock::new();
+        c.note(Nanos::from_us(10));
+        // A query "before" the onset (clock skew in callers) saturates
+        // to zero rather than underflowing.
+        assert_eq!(c.waiting(Nanos::from_us(5)), Some(Nanos::ZERO));
+    }
+}

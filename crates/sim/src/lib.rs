@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attention;
 mod queue;
 mod stats;
 
+pub use attention::AttentionClock;
 pub use queue::EventQueue;
 pub use stats::{BusyTracker, Histogram, RateEstimator, Summary};

@@ -19,6 +19,7 @@
 //! | [`cache`] | `vmp-cache` | virtually-addressed set-associative cache |
 //! | [`mem`] | `vmp-mem` | main memory, block copier, local memory |
 //! | [`bus`] | `vmp-bus` | VMEbus, bus monitor, action tables |
+//! | [`faults`] | `vmp-faults` | deterministic seeded fault injection |
 //! | [`vm`] | `vmp-vm` | address spaces and two-level page tables |
 //! | [`machine`] | `vmp-core` | the full VMP machine model |
 //! | [`baselines`] | `vmp-baselines` | snoopy write-broadcast & MIPS-X baselines |
@@ -47,6 +48,7 @@ pub use vmp_baselines as baselines;
 pub use vmp_bus as bus;
 pub use vmp_cache as cache;
 pub use vmp_core as machine;
+pub use vmp_faults as faults;
 pub use vmp_mem as mem;
 pub use vmp_sim as sim;
 pub use vmp_trace as trace;
