@@ -73,9 +73,16 @@ fn sweep_wall(trace: &Arc<Trace>, threads: usize) -> (f64, Vec<u64>) {
 /// Runs a contended spin-lock workload (optionally under a seeded fault
 /// plan) and returns the bus statistics, for the abort breakdown below.
 fn contended_bus_stats(faults: Option<FaultRates>) -> BusStats {
+    contended_machine(false, faults).run().unwrap().bus
+}
+
+fn contended_machine(record: bool, faults: Option<FaultRates>) -> Machine {
     let mut config = MachineConfig::small();
     config.validate_each_step = false;
     config.max_time = Nanos::from_ms(60_000);
+    if record {
+        config.obs = vmp_core::ObsConfig::on();
+    }
     let mut m = Machine::build(config).unwrap();
     for cpu in 0..2 {
         m.set_program(
@@ -94,8 +101,31 @@ fn contended_bus_stats(faults: Option<FaultRates>) -> BusStats {
     if let Some(rates) = faults {
         m.install_fault_hook(FaultPlan::new(TRACE_SEED, rates));
     }
-    let report = m.run().unwrap();
-    report.bus
+    m
+}
+
+/// Re-runs the clean contended workload with the event recorder on and
+/// prints the latency histograms: how long misses, interrupt service and
+/// bus arbitration actually took, not just how often they happened.
+fn print_latency_histograms() {
+    let mut m = contended_machine(true, None);
+    m.run().unwrap();
+    let obs = m.obs().expect("recording enabled");
+    println!("latency histograms (contended locks, clean):");
+    for (name, h) in [
+        ("miss service", &obs.miss_service),
+        ("irq latency ", &obs.irq_latency),
+        ("arb wait    ", &obs.arb_wait),
+    ] {
+        println!(
+            "  {name}: n={:<5} mean={:>6}ns p50={:>6}ns p99={:>6}ns max={:>6}ns",
+            h.count(),
+            h.mean().as_ns(),
+            h.percentile(0.50).as_ns(),
+            h.percentile(0.99).as_ns(),
+            h.max().as_ns()
+        );
+    }
 }
 
 fn print_abort_breakdown(label: &str, bus: &BusStats) {
@@ -144,6 +174,7 @@ fn main() {
         "contended locks, light faults",
         &contended_bus_stats(Some(FaultRates::light())),
     );
+    print_latency_histograms();
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let (seq_wall, seq_misses) = sweep_wall(&trace, 1);

@@ -8,6 +8,8 @@
 //! vmp-trace-tool simulate trace.vmpt --page 256 --assoc 4 --kb 128
 //! vmp-trace-tool sweep trace.vmpt --assoc 4   # full geometry grid, parallel
 //! vmp-trace-tool chaos --plans 100 --seed 0   # fault-injection soak
+//! vmp-trace-tool timeline --out t.json        # Chrome trace of a contended run
+//! vmp-trace-tool metrics --out m.json         # latency histograms + series
 //! ```
 
 use std::fs::File;
@@ -17,8 +19,9 @@ use std::sync::Arc;
 
 use vmp_cache::{classify_misses, CacheConfig};
 use vmp_core::workloads::{LockDiscipline, LockWorker, SweepWorker};
-use vmp_core::{Machine, MachineConfig, WatchdogConfig};
+use vmp_core::{Machine, MachineConfig, ObsConfig, WatchdogConfig};
 use vmp_faults::{FaultPlan, FaultRates};
+use vmp_obs::{chrome_trace, metrics_json};
 use vmp_sweep::{SweepJob, SweepPool};
 use vmp_trace::synth::{AtumParams, AtumWorkload};
 use vmp_trace::{
@@ -33,12 +36,20 @@ fn usage() -> ExitCode {
          vmp-trace-tool analyze FILE [--page BYTES]\n  \
          vmp-trace-tool simulate FILE [--page BYTES] [--assoc N] [--kb N]\n  \
          vmp-trace-tool sweep FILE [--assoc N] [--threads N]\n  \
-         vmp-trace-tool chaos [--plans N] [--seed S] [--threads N]\n\n\
+         vmp-trace-tool chaos [--plans N] [--seed S] [--threads N]\n  \
+         vmp-trace-tool timeline [--procs N] [--out FILE]\n  \
+         vmp-trace-tool metrics [--procs N] [--out FILE]\n\n\
          files ending in .txt use the text format; anything else is binary;\n\
          sweep runs the full page-size x cache-size grid in parallel\n\
          (thread count: --threads, else VMP_THREADS, else all cores);\n\
          chaos soaks the machine under N seeded fault plans per workload,\n\
-         asserting faults cost time but never correctness"
+         asserting faults cost time but never correctness, and replays the\n\
+         first failing seed with the event recorder on (timeline dumped to\n\
+         chaos-wW-sS.trace.json);\n\
+         timeline records a contended N-processor run (default 4) and emits\n\
+         a Chrome trace-event document (load in Perfetto / chrome://tracing);\n\
+         metrics emits the same run's latency histograms, windowed series\n\
+         and machine report as JSON; both print to stdout without --out"
     );
     ExitCode::FAILURE
 }
@@ -221,7 +232,7 @@ fn run() -> Result<(), String> {
             // faulted run must reproduce exactly.
             let oracle: Vec<Vec<Option<u32>>> = (0..CHAOS_WORKLOADS)
                 .map(|w| {
-                    let mut m = chaos_machine(w);
+                    let mut m = chaos_machine(w, false);
                     m.run().map_err(|e| format!("oracle workload {w}: {e}"))?;
                     m.validate().map_err(|e| format!("oracle workload {w} invalid: {e}"))?;
                     Ok(chaos_probes(&m))
@@ -247,7 +258,7 @@ fn run() -> Result<(), String> {
                 let (w, seed) = job.input;
                 let rates =
                     if seed.is_multiple_of(2) { FaultRates::light() } else { FaultRates::heavy() };
-                let mut m = chaos_machine(w);
+                let mut m = chaos_machine(w, false);
                 m.install_fault_hook(FaultPlan::new(seed, rates));
                 let error = m.run().err().map(|e| e.to_string());
                 let invalid = m.validate().err();
@@ -256,18 +267,22 @@ fn run() -> Result<(), String> {
             let wall = start.elapsed();
 
             let mut failures = 0u64;
+            let mut first_fail: Option<(usize, u64)> = None;
             let mut totals = vmp_core::FaultStats::default();
             for (w, seed, error, invalid, probes, faults) in &outcomes {
-                let mut complain = |what: &str| {
+                let what = if let Some(e) = error {
+                    Some(format!("run failed: {e}"))
+                } else if let Some(e) = invalid {
+                    Some(format!("validate failed: {e}"))
+                } else if probes != &oracle[*w] {
+                    Some("final memory diverged from zero-fault oracle".into())
+                } else {
+                    None
+                };
+                if let Some(what) = what {
                     eprintln!("FAIL workload {w} seed {seed}: {what}");
                     failures += 1;
-                };
-                if let Some(e) = error {
-                    complain(&format!("run failed: {e}"));
-                } else if let Some(e) = invalid {
-                    complain(&format!("validate failed: {e}"));
-                } else if probes != &oracle[*w] {
-                    complain("final memory diverged from zero-fault oracle");
+                    first_fail = first_fail.or(Some((*w, *seed)));
                 }
                 totals.injected_aborts += faults.injected_aborts;
                 totals.dropped_words += faults.dropped_words;
@@ -293,7 +308,58 @@ fn run() -> Result<(), String> {
                 failures
             );
             if failures > 0 {
+                // Replay the first failing seed with the recorder on so
+                // there is a timeline to post-mortem, not just a FAIL line.
+                if let Some((w, seed)) = first_fail {
+                    let path = format!("chaos-w{w}-s{seed}.trace.json");
+                    match dump_chaos_timeline(w, seed, &path) {
+                        Ok(events) => eprintln!(
+                            "replayed workload {w} seed {seed} with recording on: \
+                             {events} events -> {path}"
+                        ),
+                        Err(e) => eprintln!("timeline replay failed: {e}"),
+                    }
+                }
                 return Err(format!("{failures} chaos runs violated fault transparency"));
+            }
+            Ok(())
+        }
+        Some("timeline") => {
+            let (mut m, procs) = observed_machine(&args)?;
+            let report = m.run().map_err(|e| format!("run: {e}"))?;
+            let obs = m.obs().expect("recording is enabled");
+            let doc = chrome_trace(obs).to_string();
+            match flag(&args, "--out") {
+                Some(path) => {
+                    std::fs::write(&path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+                    println!(
+                        "wrote {} events ({} dropped, {procs} cpu tracks + bus) over {} \
+                         simulated us to {path}",
+                        recorded_events(obs),
+                        obs.total_dropped(),
+                        report.elapsed.as_ns() / 1000
+                    );
+                }
+                None => println!("{doc}"),
+            }
+            Ok(())
+        }
+        Some("metrics") => {
+            let (mut m, _) = observed_machine(&args)?;
+            let report = m.run().map_err(|e| format!("run: {e}"))?;
+            let obs = m.obs().expect("recording is enabled");
+            let doc = metrics_json(obs, report.elapsed).set("report", report.to_json());
+            match flag(&args, "--out") {
+                Some(path) => {
+                    std::fs::write(&path, doc.to_string())
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                    println!(
+                        "wrote metrics ({} misses timed, {} arb waits) to {path}",
+                        obs.miss_service.count(),
+                        obs.arb_wait.count()
+                    );
+                }
+                None => println!("{doc}"),
             }
             Ok(())
         }
@@ -304,17 +370,84 @@ fn run() -> Result<(), String> {
     }
 }
 
+/// Builds the deterministic contended workload the `timeline` and
+/// `metrics` subcommands record: two processors fight over a spin lock
+/// and its shared counter while the remaining processors false-share a
+/// pair of pages, so misses, upgrades, consistency interrupts, retries
+/// and write-backs all show up on the recorded tracks.
+fn observed_machine(args: &[String]) -> Result<(Machine, usize), String> {
+    let procs: usize = flag(args, "--procs")
+        .unwrap_or_else(|| "4".into())
+        .parse()
+        .map_err(|e| format!("bad --procs: {e}"))?;
+    if procs < 2 {
+        return Err("--procs must be at least 2".into());
+    }
+    let mut config = MachineConfig::small();
+    config.processors = procs;
+    config.validate_each_step = false;
+    config.max_time = Nanos::from_ms(60_000);
+    config.obs = ObsConfig::on();
+    let page = config.cache.page_size().bytes();
+    let mut m = Machine::build(config).map_err(|e| format!("build: {e}"))?;
+    for cpu in 0..2 {
+        m.set_program(
+            cpu,
+            LockWorker::new(
+                LockDiscipline::Spin,
+                VirtAddr::new(0x1000),
+                VirtAddr::new(0x2000),
+                16,
+                Nanos::from_us(2),
+                Nanos::from_us(3),
+            ),
+        )
+        .expect("program slot exists");
+    }
+    for cpu in 2..procs {
+        let offset = 4 * (cpu as u64 - 2);
+        m.set_program(
+            cpu,
+            SweepWorker::new(VirtAddr::new(0x4000 + offset), 2 * page / 8, 8, 3, true),
+        )
+        .expect("program slot exists");
+    }
+    Ok((m, procs))
+}
+
+/// Events currently held across all of a recorder's rings.
+fn recorded_events(obs: &vmp_obs::MachineObs) -> u64 {
+    (0..obs.processors()).map(|c| obs.cpu_recorded(c)).sum::<u64>() + obs.bus_recorded()
+}
+
+/// Replays one failing chaos run with the recorder enabled and writes
+/// its Chrome trace timeline for post-mortem. Returns the event count.
+fn dump_chaos_timeline(workload: usize, seed: u64, path: &str) -> Result<u64, String> {
+    let mut m = chaos_machine(workload, true);
+    let rates = if seed.is_multiple_of(2) { FaultRates::light() } else { FaultRates::heavy() };
+    m.install_fault_hook(FaultPlan::new(seed, rates));
+    let _ = m.run(); // the failure is the point; record whatever happened
+    let obs = m.obs().expect("chaos replay enables recording");
+    std::fs::write(path, chrome_trace(obs).to_string())
+        .map_err(|e| format!("write {path}: {e}"))?;
+    Ok(recorded_events(obs))
+}
+
 /// Number of distinct workloads the `chaos` subcommand soaks.
 const CHAOS_WORKLOADS: usize = 4;
 
 /// Builds one of the chaos workloads: all have schedule-independent final
 /// state, so a faulted run must reproduce the zero-fault probe words.
-fn chaos_machine(workload: usize) -> Machine {
+/// `record` switches the event recorder on for failing-seed replays.
+fn chaos_machine(workload: usize, record: bool) -> Machine {
     let mut config = MachineConfig::small();
     config.validate_each_step = false;
     config.audit_every = Some(64);
     config.watchdog = Some(WatchdogConfig::default());
     config.max_time = Nanos::from_ms(60_000);
+    if record {
+        config.obs = ObsConfig::on();
+    }
     let page = config.cache.page_size().bytes();
     let mut m = Machine::build(config).expect("small config is valid");
     match workload {

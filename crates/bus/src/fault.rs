@@ -26,6 +26,36 @@ use vmp_types::{Nanos, ProcessorId};
 
 use crate::{BusTransaction, InterruptWord};
 
+/// The classes of injected fault a [`FaultHook`] can produce, one per
+/// hook method — used by observability layers to tag fault events with
+/// which recovery path they exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Extra arbitration delay before a transaction could reserve the bus.
+    ArbitrationStall,
+    /// A spurious abort of an otherwise-allowed transaction.
+    InjectedAbort,
+    /// A queued interrupt word silently dropped (modelled as overflow).
+    DroppedWord,
+    /// A monitor forced into the sticky overflowed state.
+    ForcedOverflow,
+    /// A failed block-copier attempt absorbed by bounded retry.
+    CopierRetry,
+}
+
+impl FaultClass {
+    /// Stable lower-case label for reports and JSON keys.
+    pub const fn label(self) -> &'static str {
+        match self {
+            FaultClass::ArbitrationStall => "arbitration-stall",
+            FaultClass::InjectedAbort => "injected-abort",
+            FaultClass::DroppedWord => "dropped-word",
+            FaultClass::ForcedOverflow => "forced-overflow",
+            FaultClass::CopierRetry => "copier-retry",
+        }
+    }
+}
+
 /// Decides, per boundary crossing, whether and how to inject a fault.
 ///
 /// All methods take `&mut self` so implementations can drive a

@@ -48,7 +48,7 @@ mod transaction;
 mod vme;
 
 pub use action::{ActionCode, ActionTable};
-pub use fault::{FaultHook, NoFaults};
+pub use fault::{FaultClass, FaultHook, NoFaults};
 pub use monitor::{BusMonitor, InterruptWord, MonitorDecision, FIFO_CAPACITY};
 pub use transaction::{BusTransaction, BusTxKind};
 pub use vme::{BusStats, BusTimings, VmeBus};

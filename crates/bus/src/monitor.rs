@@ -42,6 +42,11 @@ pub struct MonitorDecision {
     /// coalesced-duplicate and overflow-drop cases. Fault injectors use
     /// this to target only words that exist to be lost.
     pub queued: bool,
+    /// The word was lost to a FIFO overflow (sticky flag set). Distinct
+    /// from a coalesced duplicate, which carries no new information;
+    /// observability layers use this to record overflow events at the
+    /// exact transaction that caused them.
+    pub dropped: bool,
 }
 
 /// The bus monitor: VMP's entire per-processor consistency hardware.
@@ -174,28 +179,32 @@ impl BusMonitor {
                 _ => PASS,
             },
         };
-        let queued = interrupted
-            && self.queue(InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer });
-        MonitorDecision { abort, interrupted, queued }
+        let (queued, dropped) = if interrupted {
+            self.queue(InterruptWord { kind: tx.kind, frame: tx.frame, issuer: tx.issuer })
+        } else {
+            (false, false)
+        };
+        MonitorDecision { abort, interrupted, queued, dropped }
     }
 
-    fn queue(&mut self, word: InterruptWord) -> bool {
+    /// Returns `(queued, dropped)`.
+    fn queue(&mut self, word: InterruptWord) -> (bool, bool) {
         // Coalesce: a word identical to one already pending carries no
         // new information for the handler (the condition is per-frame and
         // the service routine is idempotent), so the monitor suppresses
         // it instead of letting rapid retries of one aborted transaction
         // flood the FIFO.
         if self.fifo.iter().any(|w| *w == word) {
-            return false;
+            return (false, false);
         }
         if self.fifo.len() >= FIFO_CAPACITY {
             self.overflow = true;
             self.dropped_total += 1;
-            false
+            (false, true)
         } else {
             self.fifo.push_back(word);
             self.queued_total += 1;
-            true
+            (true, false)
         }
     }
 
@@ -401,7 +410,8 @@ mod tests {
         assert!(!m.overflowed());
         let f = FIFO_CAPACITY as u64;
         m.table_mut().set(FrameNum::new(f), ActionCode::InterruptOnOwnership);
-        m.observe(&tx(BusTxKind::ReadPrivate, f, 1));
+        let d = m.observe(&tx(BusTxKind::ReadPrivate, f, 1));
+        assert!(d.interrupted && !d.queued && d.dropped, "overflow drop is flagged");
         assert_eq!(m.pending(), FIFO_CAPACITY);
         assert!(m.overflowed());
         assert_eq!(m.dropped_total(), 1);
@@ -433,6 +443,7 @@ mod tests {
         assert!(d.interrupted && d.queued, "first word enters the FIFO");
         let d = m.observe(&tx(BusTxKind::ReadPrivate, 6, 1));
         assert!(d.interrupted && !d.queued, "coalesced duplicate is not queued");
+        assert!(!d.dropped, "a coalesced duplicate is not a loss");
     }
 
     #[test]

@@ -37,6 +37,34 @@ pub enum BusTxKind {
 }
 
 impl BusTxKind {
+    /// All transaction kinds, in the order `BusStats` indexes them — for
+    /// exhaustive per-kind reporting without hand-maintained lists.
+    pub const ALL: [BusTxKind; 8] = [
+        BusTxKind::ReadShared,
+        BusTxKind::ReadPrivate,
+        BusTxKind::AssertOwnership,
+        BusTxKind::WriteBack,
+        BusTxKind::Notify,
+        BusTxKind::WriteActionTable,
+        BusTxKind::PlainRead,
+        BusTxKind::PlainWrite,
+    ];
+
+    /// Stable lower-case label, identical to the `Display` form but
+    /// available in const and non-formatting contexts (JSON keys).
+    pub const fn label(self) -> &'static str {
+        match self {
+            BusTxKind::ReadShared => "read-shared",
+            BusTxKind::ReadPrivate => "read-private",
+            BusTxKind::AssertOwnership => "assert-ownership",
+            BusTxKind::WriteBack => "write-back",
+            BusTxKind::Notify => "notify",
+            BusTxKind::WriteActionTable => "write-action-table",
+            BusTxKind::PlainRead => "plain-read",
+            BusTxKind::PlainWrite => "plain-write",
+        }
+    }
+
     /// Returns `true` for the five consistency-related kinds the bus
     /// monitors check (paper §3.1).
     pub const fn is_consistency_related(self) -> bool {
@@ -63,17 +91,7 @@ impl BusTxKind {
 
 impl fmt::Display for BusTxKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            BusTxKind::ReadShared => "read-shared",
-            BusTxKind::ReadPrivate => "read-private",
-            BusTxKind::AssertOwnership => "assert-ownership",
-            BusTxKind::WriteBack => "write-back",
-            BusTxKind::Notify => "notify",
-            BusTxKind::WriteActionTable => "write-action-table",
-            BusTxKind::PlainRead => "plain-read",
-            BusTxKind::PlainWrite => "plain-write",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 
@@ -138,21 +156,21 @@ mod tests {
 
     #[test]
     fn display_all_kinds() {
-        use BusTxKind::*;
-        let all = [
-            ReadShared,
-            ReadPrivate,
-            AssertOwnership,
-            WriteBack,
-            Notify,
-            WriteActionTable,
-            PlainRead,
-            PlainWrite,
-        ];
-        for k in all {
+        for k in BusTxKind::ALL {
             assert!(!k.to_string().is_empty());
+            assert_eq!(k.to_string(), k.label());
         }
-        let tx = BusTransaction::new(ReadShared, FrameNum::new(3), ProcessorId::new(1));
+        let tx = BusTransaction::new(BusTxKind::ReadShared, FrameNum::new(3), ProcessorId::new(1));
         assert_eq!(tx.to_string(), "read-shared frame:0x3 by cpu1");
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        for (i, a) in BusTxKind::ALL.iter().enumerate() {
+            for b in &BusTxKind::ALL[i + 1..] {
+                assert_ne!(a, b);
+                assert_ne!(a.label(), b.label());
+            }
+        }
     }
 }

@@ -45,6 +45,14 @@ pub struct BusStats {
     pub injected_aborts: u64,
     /// Aggregate bus-busy time.
     pub busy: BusyTracker,
+    /// Total time reservations spent between becoming ready and being
+    /// granted the bus (the fixed arbitration cycle plus any queueing
+    /// behind earlier bookings).
+    pub arb_wait_total: Nanos,
+    /// Longest single ready-to-grant wait.
+    pub arb_wait_max: Nanos,
+    /// Number of reservations (waits recorded).
+    pub reservations: u64,
 }
 
 impl BusStats {
@@ -84,6 +92,15 @@ impl BusStats {
     /// Bus utilization over an elapsed interval.
     pub fn utilization(&self, elapsed: Nanos) -> f64 {
         self.busy.utilization(elapsed)
+    }
+
+    /// Mean ready-to-grant wait per reservation (zero when none).
+    pub fn mean_arb_wait(&self) -> Nanos {
+        if self.reservations == 0 {
+            Nanos::ZERO
+        } else {
+            self.arb_wait_total / self.reservations
+        }
     }
 }
 
@@ -189,6 +206,10 @@ impl VmeBus {
             }
         }
         self.bookings.insert(candidate, candidate + dur);
+        let wait = candidate.saturating_sub(ready);
+        self.stats.arb_wait_total += wait;
+        self.stats.arb_wait_max = self.stats.arb_wait_max.max(wait);
+        self.stats.reservations += 1;
         candidate
     }
 
@@ -366,6 +387,23 @@ mod tests {
         assert_eq!(bus.stats().abort_count(BusTxKind::AssertOwnership), 2);
         assert_eq!(bus.stats().abort_count(BusTxKind::Notify), 1);
         assert!(bus.stats().to_string().contains("[2 injected]"));
+    }
+
+    #[test]
+    fn arbitration_wait_accounting() {
+        let mut bus = VmeBus::new(PageSize::S256);
+        let d = bus.duration(BusTxKind::ReadShared); // 6.6 us
+        let s1 = bus.reserve(Nanos::ZERO, d);
+        assert_eq!(s1, Nanos::from_ns(100));
+        // Second request ready at t=0 queues behind the first.
+        let s2 = bus.reserve(Nanos::ZERO, d);
+        assert_eq!(s2, s1 + d);
+        let stats = bus.stats();
+        assert_eq!(stats.reservations, 2);
+        assert_eq!(stats.arb_wait_max, s2);
+        assert_eq!(stats.arb_wait_total, s1 + s2);
+        assert_eq!(stats.mean_arb_wait(), (s1 + s2) / 2);
+        assert_eq!(BusStats::default().mean_arb_wait(), Nanos::ZERO);
     }
 
     #[test]

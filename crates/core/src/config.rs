@@ -3,6 +3,7 @@
 use vmp_bus::BusTimings;
 use vmp_cache::CacheConfig;
 use vmp_mem::MemTimings;
+use vmp_obs::ObsConfig;
 use vmp_types::{ConfigError, Nanos, PageSize};
 
 /// Software timing of the cache-management routines running on each CPU.
@@ -166,6 +167,10 @@ pub struct MachineConfig {
     /// default, so benign runs are bit-identical with or without this
     /// subsystem compiled in).
     pub watchdog: Option<WatchdogConfig>,
+    /// Observability: structured event recording, latency histograms and
+    /// windowed series. Disabled by default; recording never feeds back
+    /// into simulation state, so enabling it cannot perturb a run.
+    pub obs: ObsConfig,
     /// Stop the simulation at this time even if programs have not halted.
     pub max_time: Nanos,
 }
@@ -184,6 +189,7 @@ impl Default for MachineConfig {
             validate_each_step: false,
             audit_every: None,
             watchdog: None,
+            obs: ObsConfig::default(),
             max_time: Nanos::from_ms(10_000),
         }
     }
@@ -226,6 +232,20 @@ impl MachineConfig {
         }
         if self.audit_every == Some(0) {
             return Err(ConfigError::ZeroCount { what: "audit_every interval" });
+        }
+        if self.obs.enabled {
+            if self.obs.ring_capacity == 0 {
+                return Err(ConfigError::ZeroCount { what: "obs ring capacity" });
+            }
+            if self.obs.histogram_buckets == 0 || self.obs.histogram_buckets > 65 {
+                return Err(ConfigError::Inconsistent {
+                    what: "obs histogram buckets must be in 1..=65",
+                });
+            }
+            if self.obs.window == Nanos::ZERO {
+                return Err(ConfigError::ZeroCount { what: "obs window width" });
+            }
+            debug_assert!(self.obs.validate().is_ok());
         }
         Ok(())
     }
@@ -276,6 +296,23 @@ mod tests {
         assert!(c.check().is_err());
         let c = MachineConfig { audit_every: Some(1), ..MachineConfig::default() };
         c.check().unwrap();
+    }
+
+    #[test]
+    fn obs_config_is_validated_when_enabled() {
+        let with_obs = |obs| MachineConfig { obs, ..MachineConfig::default() };
+        let c = with_obs(ObsConfig { enabled: true, ring_capacity: 0, ..ObsConfig::default() });
+        assert!(c.check().is_err());
+        let c =
+            with_obs(ObsConfig { enabled: true, histogram_buckets: 66, ..ObsConfig::default() });
+        assert!(c.check().is_err());
+        let c = with_obs(ObsConfig { enabled: true, window: Nanos::ZERO, ..ObsConfig::default() });
+        assert!(c.check().is_err());
+        // The same parameters pass when recording is off (they are unused)
+        // and when recording is on with sane values.
+        let c = with_obs(ObsConfig { enabled: false, ring_capacity: 0, ..ObsConfig::default() });
+        c.check().unwrap();
+        with_obs(ObsConfig::on()).check().unwrap();
     }
 
     #[test]
@@ -393,6 +430,13 @@ impl MachineBuilder {
     /// Sets the cap on the exponential retry-backoff streak.
     pub fn max_retry_streak(mut self, cap: u32) -> Self {
         self.config.cpu.max_retry_streak = cap;
+        self
+    }
+
+    /// Configures observability (`ObsConfig::on()` enables recording
+    /// with the default ring and histogram sizes).
+    pub fn obs(mut self, config: ObsConfig) -> Self {
+        self.config.obs = config;
         self
     }
 

@@ -62,4 +62,5 @@ pub use kernel::Kernel;
 pub use machine::Machine;
 pub use phys_index::PhysIndex;
 pub use program::{sweep_refs, Op, OpResult, Program, ScriptProgram, TraceProgram};
-pub use stats::{FaultStats, MachineReport, ProcessorStats};
+pub use stats::{bus_stats_json, FaultStats, MachineReport, ProcessorStats};
+pub use vmp_obs::{MachineObs, ObsConfig};

@@ -4,10 +4,12 @@
 use std::collections::BTreeMap;
 
 use vmp_bus::{
-    ActionCode, BusMonitor, BusTransaction, BusTxKind, FaultHook, InterruptWord, NoFaults, VmeBus,
+    ActionCode, BusMonitor, BusTransaction, BusTxKind, FaultClass, FaultHook, InterruptWord,
+    NoFaults, VmeBus,
 };
 use vmp_cache::{DataCache, SlotFlags, SlotId, Tag};
 use vmp_mem::{LocalMemory, MainMemory};
+use vmp_obs::{EventKind, MachineObs, MissCause};
 use vmp_sim::{AttentionClock, EventQueue, Histogram};
 use vmp_trace::MemRef;
 use vmp_types::{Asid, FrameNum, Nanos, PageSize, PhysAddr, ProcessorId, VirtAddr, VirtPageNum};
@@ -63,6 +65,7 @@ struct FetchCont {
     asid: Asid,
     va: VirtAddr,
     want_private: bool,
+    cause: MissCause,
     frame: FrameNum,
     slot: SlotId,
 }
@@ -188,6 +191,11 @@ pub struct Machine {
     fault_hook: Box<dyn FaultHook>,
     /// Machine-side accounting of the faults absorbed so far.
     fault_stats: FaultStats,
+    /// Event recorder, allocated only when `config.obs.enabled`: the
+    /// disabled path is a single branch per instrumentation site, and
+    /// recording only ever reads simulator state, so enabling it cannot
+    /// perturb a run.
+    obs: Option<Box<MachineObs>>,
     /// Liveness watchdog, resolved from the configuration at build.
     watchdog: Option<ResolvedWatchdog>,
     /// Violation detected inside a kernel service loop (which cannot
@@ -252,6 +260,8 @@ impl Machine {
             lag_limit: w.effective_interrupt_lag_limit(&config.cpu),
             zero_yield_limit: w.effective_zero_yield_limit(),
         });
+        let obs =
+            config.obs.enabled.then(|| Box::new(MachineObs::new(&config.obs, config.processors)));
         Ok(Machine {
             config,
             now: Nanos::ZERO,
@@ -265,6 +275,7 @@ impl Machine {
             swap: BTreeMap::new(),
             fault_hook: Box::new(NoFaults),
             fault_stats: FaultStats::default(),
+            obs,
             watchdog,
             stuck: None,
             events_delivered: 0,
@@ -287,6 +298,13 @@ impl Machine {
     /// Machine-side fault accounting for the run so far.
     pub fn fault_stats(&self) -> &FaultStats {
         &self.fault_stats
+    }
+
+    /// The event recorder, when observability is enabled
+    /// (`MachineConfig::obs`); feed it to [`vmp_obs::chrome_trace`] or
+    /// [`vmp_obs::metrics_json`].
+    pub fn obs(&self) -> Option<&MachineObs> {
+        self.obs.as_deref()
     }
 
     /// Simulated time.
@@ -511,6 +529,15 @@ impl Machine {
                     }
                 }
             }
+            if self.obs.is_some() {
+                let now = self.now;
+                let busy = self.bus.stats().busy.busy();
+                let o = self.obs.as_deref_mut().expect("checked above");
+                o.sample_bus(now, busy);
+                for (i, c) in self.cpus.iter().enumerate() {
+                    o.sample_cpu(i, now, c.stats.useful_time, c.stats.stall_time);
+                }
+            }
             if let Some(w) = self.watchdog {
                 if let Some(v) = self.stuck.take() {
                     return Err(MachineError::Watchdog(v));
@@ -573,6 +600,9 @@ impl Machine {
         let ready = if stall > Nanos::ZERO {
             self.fault_stats.stalls += 1;
             self.fault_stats.stall_time += stall;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.bus_event(self.now, EventKind::Fault { class: FaultClass::ArbitrationStall });
+            }
             ready + stall
         } else {
             ready
@@ -580,6 +610,7 @@ impl Machine {
         let mut abort = false;
         let mut interrupted: Vec<usize> = Vec::new();
         let mut queued: Vec<usize> = Vec::new();
+        let mut overflowed: Vec<usize> = Vec::new();
         for (j, cpu) in self.cpus.iter_mut().enumerate() {
             let d = cpu.monitor.observe(&tx);
             abort |= d.abort;
@@ -588,6 +619,9 @@ impl Machine {
             }
             if d.queued {
                 queued.push(j);
+            }
+            if d.dropped {
+                overflowed.push(j);
             }
         }
         // Spurious abort injection, restricted to kinds whose issuers
@@ -599,14 +633,31 @@ impl Machine {
             abort = true;
             injected = true;
             self.fault_stats.injected_aborts += 1;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.bus_event(self.now, EventKind::Fault { class: FaultClass::InjectedAbort });
+            }
         }
         let end = if abort {
             // Address-phase abort: terminated immediately, the block
             // transfer never starts, queued transfers are not delayed.
             self.bus.abort(tx.kind, injected);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.bus_event(
+                    ready + self.config.bus.arbitration,
+                    EventKind::BusTx {
+                        kind: tx.kind,
+                        frame: tx.frame,
+                        issuer: tx.issuer,
+                        wait: self.config.bus.arbitration,
+                        dur: self.bus.abort_duration(),
+                        aborted: true,
+                    },
+                );
+            }
             ready + self.config.bus.arbitration + self.bus.abort_duration()
         } else {
             let mut dur = self.bus.duration(tx.kind);
+            let mut copier_failures = 0u32;
             if tx.kind.is_block_transfer() {
                 // Transient copier errors: each failed attempt occupies
                 // one full transfer slot before the bounded retry wins.
@@ -616,12 +667,40 @@ impl Machine {
                     self.fault_stats.copier_retries += u64::from(failures);
                     self.fault_stats.copier_retry_time += extra;
                     dur += extra;
+                    copier_failures = failures;
                 }
             }
             let start = self.bus.reserve(ready, dur);
             self.bus.complete(tx.kind, dur);
+            if let Some(o) = self.obs.as_deref_mut() {
+                let wait = start.saturating_sub(ready);
+                o.arb_wait.record(wait);
+                o.bus_event(
+                    start,
+                    EventKind::BusTx {
+                        kind: tx.kind,
+                        frame: tx.frame,
+                        issuer: tx.issuer,
+                        wait,
+                        dur,
+                        aborted: false,
+                    },
+                );
+                if copier_failures > 0 {
+                    o.bus_event(start, EventKind::Fault { class: FaultClass::CopierRetry });
+                }
+            }
             start + dur
         };
+        // Real FIFO overflows observed during the address phase: the
+        // monitor lost the word and raised its sticky flag.
+        if !overflowed.is_empty() {
+            if let Some(o) = self.obs.as_deref_mut() {
+                for &j in &overflowed {
+                    o.cpu_event(j, end, EventKind::FifoOverflow);
+                }
+            }
+        }
         // Injected FIFO word drops: a freshly queued word vanishes, but
         // always marks the FIFO overflowed — an injected drop is
         // indistinguishable from a real overflow, so the §3.3 recovery
@@ -632,6 +711,10 @@ impl Machine {
                 && self.cpus[j].monitor.drop_newest().is_some()
             {
                 self.fault_stats.dropped_words += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.cpu_event(j, end, EventKind::Fault { class: FaultClass::DroppedWord });
+                    o.cpu_event(j, end, EventKind::FifoOverflow);
+                }
             }
         }
         // Forced overflow: the sticky flag rises without losing a word,
@@ -642,6 +725,10 @@ impl Machine {
                 self.cpus[j].monitor.force_overflow();
                 self.fault_stats.forced_overflows += 1;
                 self.cpus[j].attention.note(end);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.cpu_event(j, end, EventKind::Fault { class: FaultClass::ForcedOverflow });
+                    o.cpu_event(j, end, EventKind::FifoOverflow);
+                }
             }
         }
         // Track service attention for every board that now holds work.
@@ -667,6 +754,9 @@ impl Machine {
     fn retry_at(&mut self, cpu: usize, abort_end: Nanos) -> Nanos {
         let streak = u64::from(self.cpus[cpu].retry_streak.min(self.config.cpu.max_retry_streak));
         self.cpus[cpu].retry_streak += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(cpu, abort_end, EventKind::Retry { streak: self.cpus[cpu].retry_streak });
+        }
         abort_end + self.config.cpu.retry_backoff * (1 + streak)
     }
 
@@ -677,9 +767,23 @@ impl Machine {
     /// Services every pending interrupt word for `cpu`; returns the time
     /// when service completes.
     fn service_interrupts(&mut self, cpu: usize, mut t: Nanos) -> Nanos {
+        let t0 = t;
+        let pending = self.cpus[cpu].monitor.pending() as u32;
+        let had_work = pending > 0 || self.cpus[cpu].monitor.overflowed();
+        if had_work {
+            if let Some(o) = self.obs.as_deref_mut() {
+                // Queued-to-service latency, measured from the oldest
+                // unserviced word's onset.
+                if let Some(waited) = self.cpus[cpu].attention.waiting(t0) {
+                    o.irq_latency.record(waited);
+                }
+                o.cpu_event(cpu, t0, EventKind::IrqBegin { pending });
+            }
+        }
         if self.cpus[cpu].monitor.overflowed() {
             t = self.recover_overflow(cpu, t);
         }
+        let mut serviced: u32 = 0;
         while let Some(word) = self.cpus[cpu].monitor.pop_interrupt() {
             // A stale word (the frame's code already cleared by an earlier
             // service) is dismissed after a quick table check; a live one
@@ -692,12 +796,18 @@ impl Machine {
                 self.config.cpu.consistency_service
             };
             self.cpus[cpu].stats.consistency_interrupts += 1;
+            serviced += 1;
             t = self.service_word(cpu, word, t);
         }
         // Fully drained (service never queues words on its own monitor):
         // stand down the starvation clock.
         if self.cpus[cpu].monitor.pending() == 0 && !self.cpus[cpu].monitor.overflowed() {
             self.cpus[cpu].attention.clear();
+        }
+        if had_work {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.cpu_event(cpu, t, EventKind::IrqEnd { serviced });
+            }
         }
         t
     }
@@ -770,6 +880,9 @@ impl Machine {
             debug_assert!(ok, "own write-back must not abort");
             self.memory.write_frame(frame, &bytes);
             self.cpus[cpu].stats.writebacks += 1;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.cpu_event(cpu, end, EventKind::WriteBack { frame });
+            }
             t = end;
         }
         for slot in slots {
@@ -794,6 +907,7 @@ impl Machine {
     /// clear the flag. Privately owned pages are safe because requests
     /// for them are aborted and retried regardless of the lost words.
     fn recover_overflow(&mut self, cpu: usize, mut t: Nanos) -> Nanos {
+        let t0 = t;
         self.cpus[cpu].stats.fifo_recoveries += 1;
         let per_slot = self.config.cpu.overflow_recovery_per_slot;
         let shared: Vec<(SlotId, FrameNum)> = self.cpus[cpu]
@@ -805,7 +919,8 @@ impl Machine {
                 (slot, frame)
             })
             .collect();
-        t += per_slot * self.cpus[cpu].cache.valid_count() as u64;
+        let scanned = self.cpus[cpu].cache.valid_count() as u64;
+        t += per_slot * scanned;
         for (slot, frame) in shared {
             self.cpus[cpu].cache.invalidate(slot);
             self.cpus[cpu].phys.remove(frame, slot);
@@ -816,6 +931,13 @@ impl Machine {
         }
         self.cpus[cpu].monitor.drain();
         self.cpus[cpu].monitor.clear_overflow();
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(
+                cpu,
+                t0,
+                EventKind::FifoRecovery { dur: t.saturating_sub(t0), scanned: scanned as u32 },
+            );
+        }
         t
     }
 
@@ -995,6 +1117,21 @@ impl Machine {
         let start = self.bus.reserve(t, dur);
         self.bus.complete(kind, dur);
         let end = start + dur;
+        if let Some(o) = self.obs.as_deref_mut() {
+            let wait = start.saturating_sub(t);
+            o.arb_wait.record(wait);
+            o.bus_event(
+                start,
+                EventKind::BusTx {
+                    kind,
+                    frame: FrameNum::new(pa.raw() / self.config.cache.page_size().bytes()),
+                    issuer: self.cpus[cpu].id,
+                    wait,
+                    dur,
+                    aborted: false,
+                },
+            );
+        }
         self.cpus[cpu].stats.refs += 1;
         self.cpus[cpu].stats.useful_time += end.saturating_sub(t);
         let result = if tas {
@@ -1074,11 +1211,12 @@ impl Machine {
         let vpn = self.page_size().vpn_of(va);
         let hinted = self.kernel.translate(asid, vpn).is_some_and(|pte| pte.hint_private);
         let want_private = is_write || hinted;
-        match self.fetch_page(cpu, asid, va, want_private, t, 0)? {
+        let cause = if is_write { MissCause::Write } else { MissCause::Read };
+        match self.fetch_page(cpu, asid, va, want_private, cause, t, 0)? {
             FetchOutcome::Restart(at) => Ok(Exec::Retry(at, PendingWork::FullOp(op))),
             FetchOutcome::TxAborted { at, frame, slot } => Ok(Exec::Retry(
                 at,
-                PendingWork::FetchTx(FetchCont { op, asid, va, want_private, frame, slot }),
+                PendingWork::FetchTx(FetchCont { op, asid, va, want_private, cause, frame, slot }),
             )),
             FetchOutcome::Loaded { slot, end } => {
                 self.cpus[cpu].stats.stall_time += end.saturating_sub(t);
@@ -1129,9 +1267,19 @@ impl Machine {
     /// Issues (or re-issues) the assert-ownership transaction of a write
     /// upgrade.
     fn issue_upgrade(&mut self, cpu: usize, cont: UpgradeCont, t: Nanos) -> Exec {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(cpu, t, EventKind::MissBegin { cause: MissCause::Upgrade });
+        }
         let tx = BusTransaction::new(BusTxKind::AssertOwnership, cont.frame, self.cpus[cpu].id);
         let (end, ok) = self.bus_transaction(tx, t);
         if !ok {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.cpu_event(
+                    cpu,
+                    end,
+                    EventKind::MissEnd { cause: MissCause::Upgrade, completed: false },
+                );
+            }
             let at = self.retry_at(cpu, end);
             return Exec::Retry(at, PendingWork::UpgradeTx(cont));
         }
@@ -1147,6 +1295,14 @@ impl Machine {
         self.cpus[cpu].monitor.table_mut().set(cont.frame, ActionCode::Protect);
         self.cpus[cpu].zero_yield_acquires += 1;
         self.cpus[cpu].stats.stall_time += end.saturating_sub(t);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(
+                cpu,
+                end,
+                EventKind::MissEnd { cause: MissCause::Upgrade, completed: true },
+            );
+            o.miss_service.record(end.saturating_sub(t));
+        }
         self.finish_access(cpu, cont.op, cont.va, cont.slot, end)
     }
 
@@ -1169,15 +1325,25 @@ impl Machine {
     /// Resumes a miss whose block-fetch transaction was aborted: re-issue
     /// just the transaction (§3.2) into the already-reserved victim slot.
     fn resume_fetch(&mut self, cpu: usize, cont: FetchCont, t: Nanos) -> Exec {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(cpu, t, EventKind::MissBegin { cause: cont.cause });
+        }
         let kind = if cont.want_private { BusTxKind::ReadPrivate } else { BusTxKind::ReadShared };
         let tx = BusTransaction::new(kind, cont.frame, self.cpus[cpu].id);
         let (end, ok) = self.bus_transaction(tx, t);
         if !ok {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.cpu_event(cpu, end, EventKind::MissEnd { cause: cont.cause, completed: false });
+            }
             let at = self.retry_at(cpu, end);
             return Exec::Retry(at, PendingWork::FetchTx(cont));
         }
         let slot = self.install_fetched(cpu, &cont);
         self.cpus[cpu].stats.stall_time += end.saturating_sub(t);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(cpu, end, EventKind::MissEnd { cause: cont.cause, completed: true });
+            o.miss_service.record(end.saturating_sub(t));
+        }
         self.finish_access(cpu, cont.op, cont.va, slot, end)
     }
 
@@ -1208,22 +1374,33 @@ impl Machine {
     /// The software cache-miss handler (§2, §5.1): exception entry,
     /// translation (possibly nested PTE misses), victim write-back
     /// overlapped with bookkeeping, block fetch.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_page(
         &mut self,
         cpu: usize,
         asid: Asid,
         va: VirtAddr,
         want_private: bool,
+        cause: MissCause,
         t: Nanos,
         depth: u8,
     ) -> Result<FetchOutcome, MachineError> {
+        let t_begin = t;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(cpu, t_begin, EventKind::MissBegin { cause });
+        }
         let t = t + self.config.cpu.miss_pre;
 
         // --- Translation, charging PTE cache traffic (§2). ---
         let vpn = self.page_size().vpn_of(va);
         let (frame, t) = match self.resolve_frame(cpu, asid, vpn, va, t, depth)? {
             ResolveOutcome::Frame(frame, t) => (frame, t),
-            ResolveOutcome::Restart(at) => return Ok(FetchOutcome::Restart(at)),
+            ResolveOutcome::Restart(at) => {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.cpu_event(cpu, at, EventKind::MissEnd { cause, completed: false });
+                }
+                return Ok(FetchOutcome::Restart(at));
+            }
         };
 
         // --- Victim selection and write-back (overlapped with `mid`). ---
@@ -1241,6 +1418,9 @@ impl Machine {
                 debug_assert!(ok, "own write-back must not abort");
                 self.memory.write_frame(vframe, &bytes);
                 self.cpus[cpu].stats.writebacks += 1;
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.cpu_event(cpu, end, EventKind::WriteBack { frame: vframe });
+                }
                 wb_end = end;
             }
             if self.cpus[cpu].phys.slots(vframe).is_empty() {
@@ -1254,11 +1434,20 @@ impl Machine {
         let tx = BusTransaction::new(kind, frame, self.cpus[cpu].id);
         let (end, ok) = self.bus_transaction(tx, t);
         if !ok {
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.cpu_event(cpu, end, EventKind::MissEnd { cause, completed: false });
+            }
             let at = self.retry_at(cpu, end);
             return Ok(FetchOutcome::TxAborted { at, frame, slot });
         }
-        let cont = FetchCont { op: Op::Halt, asid, va, want_private, frame, slot };
+        let cont = FetchCont { op: Op::Halt, asid, va, want_private, cause, frame, slot };
         let slot = self.install_fetched(cpu, &cont);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.cpu_event(cpu, end, EventKind::MissEnd { cause, completed: true });
+            if depth == 0 {
+                o.miss_service.record(end.saturating_sub(t_begin));
+            }
+        }
         Ok(FetchOutcome::Loaded { slot, end })
     }
 
@@ -1281,7 +1470,15 @@ impl Machine {
                 t += self.config.cpu.ref_cycle;
             } else {
                 self.cpus[cpu].stats.pte_misses += 1;
-                match self.fetch_page(cpu, Asid::KERNEL, pte_va, false, t, depth + 1)? {
+                match self.fetch_page(
+                    cpu,
+                    Asid::KERNEL,
+                    pte_va,
+                    false,
+                    MissCause::Pte,
+                    t,
+                    depth + 1,
+                )? {
                     FetchOutcome::Loaded { end, .. } => t = end + self.config.cpu.ref_cycle,
                     FetchOutcome::TxAborted { at, .. } | FetchOutcome::Restart(at) => {
                         // Nested aborts restart the whole handler; PTE
@@ -1525,7 +1722,7 @@ impl Machine {
         let mut t = t;
         let mut iterations: u64 = 0;
         loop {
-            match self.fetch_page(by, Asid::KERNEL, va, true, t, 0)? {
+            match self.fetch_page(by, Asid::KERNEL, va, true, MissCause::Kernel, t, 0)? {
                 FetchOutcome::Loaded { end, .. } => return Ok(end),
                 FetchOutcome::TxAborted { at, .. } | FetchOutcome::Restart(at) => {
                     let t1 = self.service_interrupts(by, at);
@@ -1666,6 +1863,21 @@ impl Machine {
                 };
                 let start = self.bus.reserve(t, dur);
                 self.bus.complete(kind, dur);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.arb_wait.record(start.saturating_sub(t));
+                    o.bus_event(
+                        start,
+                        EventKind::Copier {
+                            frame,
+                            issuer: self.dmas[handle].id,
+                            dur,
+                            write: write_to_mem,
+                        },
+                    );
+                    if failures > 0 {
+                        o.bus_event(start, EventKind::Fault { class: FaultClass::CopierRetry });
+                    }
+                }
                 if write_to_mem {
                     let bytes =
                         self.dmas[handle].request.data[idx * page..(idx + 1) * page].to_vec();

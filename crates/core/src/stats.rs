@@ -2,7 +2,8 @@
 
 use core::fmt;
 
-use vmp_bus::BusStats;
+use vmp_bus::{BusStats, BusTxKind};
+use vmp_obs::json::Value;
 use vmp_types::{Nanos, ProcessorId};
 
 /// Counters for one processor over a run.
@@ -73,6 +74,31 @@ impl ProcessorStats {
             self.useful_time.as_ns() as f64 / total.as_ns() as f64
         }
     }
+
+    /// Renders the counters plus the derived ratios as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj()
+            .set("refs", self.refs)
+            .set("reads", self.reads)
+            .set("writes", self.writes)
+            .set("read_misses", self.read_misses)
+            .set("write_misses", self.write_misses)
+            .set("upgrades", self.upgrades)
+            .set("pte_misses", self.pte_misses)
+            .set("page_faults", self.page_faults)
+            .set("writebacks", self.writebacks)
+            .set("retries", self.retries)
+            .set("consistency_interrupts", self.consistency_interrupts)
+            .set("invalidations", self.invalidations)
+            .set("downgrades", self.downgrades)
+            .set("notifies", self.notifies)
+            .set("fifo_recoveries", self.fifo_recoveries)
+            .set("violations", self.violations)
+            .set("useful_ns", self.useful_time.as_ns())
+            .set("stall_ns", self.stall_time.as_ns())
+            .set("miss_ratio", self.miss_ratio())
+            .set("performance", self.performance())
+    }
 }
 
 impl fmt::Display for ProcessorStats {
@@ -124,6 +150,19 @@ impl FaultStats {
             + self.forced_overflows
             + self.copier_retries
             + self.stalls
+    }
+
+    /// Renders the per-class counters as a JSON object.
+    pub fn to_json(&self) -> Value {
+        Value::obj()
+            .set("injected_aborts", self.injected_aborts)
+            .set("dropped_words", self.dropped_words)
+            .set("forced_overflows", self.forced_overflows)
+            .set("copier_retries", self.copier_retries)
+            .set("copier_retry_ns", self.copier_retry_time.as_ns())
+            .set("stalls", self.stalls)
+            .set("stall_ns", self.stall_time.as_ns())
+            .set("total", self.total())
     }
 }
 
@@ -181,6 +220,49 @@ impl MachineReport {
             .map(|(i, _)| ProcessorId::new(i))
             .collect()
     }
+
+    /// Renders the whole report — per-processor counters, bus statistics
+    /// and absorbed faults — as one machine-readable JSON document.
+    pub fn to_json(&self) -> Value {
+        Value::obj()
+            .set("elapsed_ns", self.elapsed.as_ns())
+            .set("total_refs", self.total_refs())
+            .set("total_misses", self.total_misses())
+            .set("bus_utilization", self.bus_utilization())
+            .set(
+                "processors",
+                self.processors.iter().map(ProcessorStats::to_json).collect::<Vec<_>>(),
+            )
+            .set("bus", bus_stats_json(&self.bus))
+            .set("faults", self.faults.to_json())
+    }
+}
+
+/// Renders shared-bus statistics as a JSON object with per-kind
+/// completed/aborted transaction counts keyed by the kind labels.
+pub fn bus_stats_json(bus: &BusStats) -> Value {
+    let mut counts = Value::obj();
+    let mut aborts = Value::obj();
+    for kind in BusTxKind::ALL {
+        counts = counts.set(kind.label(), bus.count(kind));
+        aborts = aborts.set(kind.label(), bus.abort_count(kind));
+    }
+    Value::obj()
+        .set("completed", bus.total())
+        .set("counts", counts)
+        .set("aborts", bus.aborts)
+        .set("injected_aborts", bus.injected_aborts)
+        .set("protocol_aborts", bus.protocol_aborts())
+        .set("abort_counts", aborts)
+        .set("busy_ns", bus.busy.busy().as_ns())
+        .set(
+            "arbitration",
+            Value::obj()
+                .set("reservations", bus.reservations)
+                .set("wait_total_ns", bus.arb_wait_total.as_ns())
+                .set("wait_max_ns", bus.arb_wait_max.as_ns())
+                .set("wait_mean_ns", bus.mean_arb_wait().as_ns()),
+        )
 }
 
 impl fmt::Display for MachineReport {
@@ -233,6 +315,34 @@ mod tests {
         assert_eq!(report.bus_utilization(), 0.0);
         assert!(report.to_string().contains("cpu0"));
         assert!(!report.to_string().contains("faults:"), "quiet runs omit the fault line");
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let p = ProcessorStats {
+            refs: 100,
+            read_misses: 4,
+            useful_time: Nanos::from_us(30),
+            stall_time: Nanos::from_us(10),
+            ..ProcessorStats::default()
+        };
+        let report = MachineReport {
+            elapsed: Nanos::from_us(40),
+            processors: vec![p],
+            bus: BusStats::default(),
+            faults: FaultStats { injected_aborts: 2, ..FaultStats::default() },
+        };
+        let text = report.to_json().to_string();
+        let doc = vmp_obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("elapsed_ns").unwrap().as_u64(), Some(40_000));
+        assert_eq!(doc.get("total_refs").unwrap().as_u64(), Some(100));
+        let cpu = &doc.get("processors").unwrap().as_arr().unwrap()[0];
+        assert_eq!(cpu.get("read_misses").unwrap().as_u64(), Some(4));
+        assert!((cpu.get("performance").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-12);
+        let bus = doc.get("bus").unwrap();
+        assert_eq!(bus.get("counts").unwrap().get("read-shared").unwrap().as_u64(), Some(0));
+        assert_eq!(bus.get("arbitration").unwrap().get("reservations").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("faults").unwrap().get("injected_aborts").unwrap().as_u64(), Some(2));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Property-based tests of the observability layer: recorded miss spans
+//! must nest like brackets and account for a processor's stall time
+//! exactly, and switching recording on must never perturb the machine.
+
+use proptest::prelude::*;
+use vmp_core::{Machine, MachineConfig, ObsConfig, Op, ScriptProgram};
+use vmp_obs::{Event, EventKind};
+use vmp_types::{Asid, Nanos, VirtAddr};
+
+/// Op generator over a small pool of word addresses — only operations
+/// whose stalls are miss-shaped (no watch/notify, whose waits are not
+/// bracketed by miss spans).
+fn arb_op(pages: u64) -> impl Strategy<Value = Op> {
+    let addr = (0..pages, 0u64..4).prop_map(|(p, w)| VirtAddr::new(0x1000 + p * 0x1000 + w * 4));
+    prop_oneof![
+        addr.clone().prop_map(Op::Read),
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Write(a, v)),
+        addr.prop_map(Op::Tas),
+        (1u64..2000).prop_map(|ns| Op::Compute(Nanos::from_ns(ns))),
+    ]
+}
+
+fn quiet_config(processors: usize, obs: bool) -> MachineConfig {
+    let mut config = MachineConfig::small();
+    config.processors = processors;
+    config.validate_each_step = false;
+    config.cpu.page_fault = Nanos::ZERO;
+    config.max_time = Nanos::from_ms(60_000);
+    if obs {
+        config.obs = ObsConfig::on();
+    }
+    config
+}
+
+/// Walks one track's events through a bracket checker. Returns the
+/// summed duration of top-level miss/upgrade spans and how many of
+/// those completed (the histogram's population).
+fn span_sum(events: &[Event]) -> (Nanos, u64) {
+    let mut stack = Vec::new();
+    let mut sum = Nanos::ZERO;
+    let mut completed_top = 0u64;
+    let mut last = Nanos::ZERO;
+    for e in events {
+        assert!(e.at >= last, "events must be time-ordered: {e:?} after {last}");
+        last = e.at;
+        match e.kind {
+            EventKind::MissBegin { cause } => stack.push((e.at, cause)),
+            EventKind::MissEnd { cause, completed } => {
+                let (begin, began) = stack.pop().expect("MissEnd without matching MissBegin");
+                assert_eq!(cause, began, "span delimiters must pair by cause");
+                if stack.is_empty() {
+                    sum += e.at - begin;
+                    if completed {
+                        completed_top += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(stack.is_empty(), "every span must close: {stack:?}");
+    (sum, completed_top)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a lone processor nothing but miss handling can stall, so the
+    /// recorded top-level spans must nest properly and sum to the
+    /// processor's stall time to the nanosecond — and the miss-service
+    /// histogram must count exactly the completed ones.
+    #[test]
+    fn miss_spans_nest_and_sum_to_stall_time(
+        ops in proptest::collection::vec(arb_op(4), 1..60),
+    ) {
+        let mut full_ops = ops;
+        full_ops.push(Op::Halt);
+        let mut m = Machine::build(quiet_config(1, true)).unwrap();
+        m.set_program(0, ScriptProgram::new(full_ops)).unwrap();
+        m.run().unwrap();
+        m.validate().unwrap();
+
+        let obs = m.obs().expect("recording is enabled");
+        let events: Vec<Event> = obs.cpu_events(0).copied().collect();
+        let (sum, completed) = span_sum(&events);
+        prop_assert_eq!(
+            sum,
+            m.cpu_stats(0).stall_time,
+            "top-level span durations must account for the stall time exactly"
+        );
+        prop_assert_eq!(obs.miss_service.count(), completed);
+        prop_assert_eq!(obs.total_dropped(), 0, "default ring must not wrap here");
+    }
+
+    /// Recording only reads simulator state: an enabled run must be
+    /// bit-identical to a disabled one in everything but the recording.
+    #[test]
+    fn recording_never_perturbs_the_machine(
+        ops0 in proptest::collection::vec(arb_op(3), 1..40),
+        ops1 in proptest::collection::vec(arb_op(3), 1..40),
+    ) {
+        let run = |obs: bool| {
+            let mut m = Machine::build(quiet_config(2, obs)).unwrap();
+            let mut a = ops0.clone();
+            a.push(Op::Halt);
+            let mut b = ops1.clone();
+            b.push(Op::Halt);
+            m.set_program(0, ScriptProgram::new(a)).unwrap();
+            m.set_program(1, ScriptProgram::new(b)).unwrap();
+            let report = m.run().unwrap();
+            m.validate().unwrap();
+            let mut snapshot = Vec::new();
+            for p in 0..3u64 {
+                for w in 0..4u64 {
+                    let va = VirtAddr::new(0x1000 + p * 0x1000 + w * 4);
+                    snapshot.push(m.peek_word(Asid::new(1), va));
+                }
+            }
+            let bus = (
+                report.bus.total(),
+                report.bus.aborts,
+                report.bus.reservations,
+                report.bus.busy.busy(),
+                report.bus.arb_wait_total,
+            );
+            (report.elapsed, snapshot, report.processors, bus)
+        };
+        let off = run(false);
+        let on = run(true);
+        prop_assert_eq!(off.0, on.0, "elapsed time must not change");
+        prop_assert_eq!(&off.1, &on.1, "final memory must not change");
+        prop_assert_eq!(&off.2, &on.2, "processor statistics must not change");
+        prop_assert_eq!(off.3, on.3, "bus statistics must not change");
+    }
+}

@@ -1,0 +1,66 @@
+//! Structured event tracing, latency histograms and timeline export
+//! for the VMP machine model.
+//!
+//! The paper's evaluation (§5) is entirely about *where time goes* —
+//! miss-handling stalls, consistency interrupts, bus contention. This
+//! crate records those moments as structured events with [`Nanos`]
+//! timestamps and derives the distributions the §5 cost model prices:
+//!
+//! * [`MachineObs`] — one bounded [`EventRing`] per processor plus one
+//!   for the bus, three [`vmp_sim::Log2Histogram`]s (miss service time,
+//!   interrupt service latency, bus arbitration wait), and windowed
+//!   [`TimeSeries`] of bus utilization and per-processor efficiency;
+//! * [`chrome_trace`] — a Chrome trace-event document (Perfetto-viewable
+//!   timeline, one track per processor + one for the bus);
+//! * [`metrics_json`] — a machine-readable metrics report;
+//! * [`json`] — the std-only JSON writer/parser both exporters use.
+//!
+//! **Overhead guarantee.** The recorder is allocated only when
+//! [`ObsConfig::enabled`] is set; every instrumentation site in the
+//! machine reduces to one branch on an `Option` otherwise, and
+//! recording never feeds back into simulation state, so enabled and
+//! disabled runs are bit-identical in everything but the recording.
+//!
+//! [`Nanos`]: vmp_types::Nanos
+//! [`ObsConfig::enabled`]: crate::ObsConfig#structfield.enabled
+//!
+//! # Examples
+//!
+//! ```
+//! use vmp_obs::{EventKind, MachineObs, MissCause, ObsConfig};
+//! use vmp_types::Nanos;
+//!
+//! let mut obs = MachineObs::new(&ObsConfig::on(), 1);
+//! obs.cpu_event(0, Nanos::from_us(10), EventKind::MissBegin { cause: MissCause::Read });
+//! obs.cpu_event(
+//!     0,
+//!     Nanos::from_us(27),
+//!     EventKind::MissEnd { cause: MissCause::Read, completed: true },
+//! );
+//! obs.miss_service.record(Nanos::from_us(17));
+//!
+//! let trace = vmp_obs::chrome_trace(&obs).to_string();
+//! assert!(trace.contains("\"traceEvents\""));
+//! let metrics = vmp_obs::metrics_json(&obs, Nanos::from_us(30)).to_string();
+//! let doc = vmp_obs::json::parse(&metrics).unwrap();
+//! assert_eq!(
+//!     doc.get("histograms").unwrap().get("miss_service_ns").unwrap().get("count").unwrap().as_u64(),
+//!     Some(1),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+pub mod json;
+mod metrics;
+mod recorder;
+mod series;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, EventKind, MissCause};
+pub use metrics::{histogram_json, metrics_json};
+pub use recorder::{EventRing, MachineObs, ObsConfig};
+pub use series::{TimeSeries, MAX_WINDOWS};

@@ -33,4 +33,4 @@ mod stats;
 
 pub use attention::AttentionClock;
 pub use queue::EventQueue;
-pub use stats::{BusyTracker, Histogram, RateEstimator, Summary};
+pub use stats::{BusyTracker, Histogram, Log2Histogram, RateEstimator, Summary};

@@ -19,6 +19,7 @@
 //! | [`cache`] | `vmp-cache` | virtually-addressed set-associative cache |
 //! | [`mem`] | `vmp-mem` | main memory, block copier, local memory |
 //! | [`bus`] | `vmp-bus` | VMEbus, bus monitor, action tables |
+//! | [`obs`] | `vmp-obs` | event tracing, latency histograms, timeline export |
 //! | [`faults`] | `vmp-faults` | deterministic seeded fault injection |
 //! | [`vm`] | `vmp-vm` | address spaces and two-level page tables |
 //! | [`machine`] | `vmp-core` | the full VMP machine model |
@@ -50,6 +51,7 @@ pub use vmp_cache as cache;
 pub use vmp_core as machine;
 pub use vmp_faults as faults;
 pub use vmp_mem as mem;
+pub use vmp_obs as obs;
 pub use vmp_sim as sim;
 pub use vmp_trace as trace;
 pub use vmp_types as types;
