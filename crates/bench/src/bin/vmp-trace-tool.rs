@@ -10,6 +10,8 @@
 //! vmp-trace-tool chaos --plans 100 --seed 0   # fault-injection soak
 //! vmp-trace-tool timeline --out t.json        # Chrome trace of a contended run
 //! vmp-trace-tool metrics --out m.json         # latency histograms + series
+//! vmp-trace-tool top --n 10                   # hottest pages, ping-pong verdicts
+//! vmp-trace-tool compare base.json new.json   # cross-run regression gate
 //! ```
 
 use std::fs::File;
@@ -21,8 +23,9 @@ use vmp_cache::{classify_misses, CacheConfig};
 use vmp_core::workloads::{LockDiscipline, LockWorker, SweepWorker};
 use vmp_core::{Machine, MachineConfig, ObsConfig, WatchdogConfig};
 use vmp_faults::{FaultPlan, FaultRates};
-use vmp_obs::{chrome_trace, metrics_json};
-use vmp_sweep::{SweepJob, SweepPool};
+use vmp_obs::compare::{compare_metrics, CompareThresholds};
+use vmp_obs::{chrome_trace, json, metrics_json, MachineObs, TxClass};
+use vmp_sweep::{CsvTable, SweepJob, SweepPool};
 use vmp_trace::synth::{AtumParams, AtumWorkload};
 use vmp_trace::{
     read_binary, read_text, reuse_distances, working_set_sizes, write_binary, write_text, Trace,
@@ -35,21 +38,33 @@ fn usage() -> ExitCode {
          vmp-trace-tool convert IN OUT\n  \
          vmp-trace-tool analyze FILE [--page BYTES]\n  \
          vmp-trace-tool simulate FILE [--page BYTES] [--assoc N] [--kb N]\n  \
-         vmp-trace-tool sweep FILE [--assoc N] [--threads N]\n  \
+         vmp-trace-tool sweep FILE [--assoc N] [--threads N] [--csv FILE]\n  \
          vmp-trace-tool chaos [--plans N] [--seed S] [--threads N]\n  \
-         vmp-trace-tool timeline [--procs N] [--out FILE]\n  \
-         vmp-trace-tool metrics [--procs N] [--out FILE]\n\n\
+         vmp-trace-tool timeline [--procs N] [--page BYTES] [--workload W] [--out FILE]\n  \
+         vmp-trace-tool metrics [--procs N] [--page BYTES] [--workload W] [--out FILE]\n  \
+         vmp-trace-tool top [--n N] [--procs N] [--page BYTES] [--workload W] [--out FILE]\n  \
+         vmp-trace-tool compare BASELINE CURRENT [--threshold PCT]\n\n\
          files ending in .txt use the text format; anything else is binary;\n\
          sweep runs the full page-size x cache-size grid in parallel\n\
-         (thread count: --threads, else VMP_THREADS, else all cores);\n\
+         (thread count: --threads, else VMP_THREADS, else all cores), adds\n\
+         per-cell contention attribution of the contended workload at each\n\
+         geometry, and with --csv writes one machine-readable row per cell;\n\
          chaos soaks the machine under N seeded fault plans per workload,\n\
          asserting faults cost time but never correctness, and replays the\n\
          first failing seed with the event recorder on (timeline dumped to\n\
          chaos-wW-sS.trace.json);\n\
          timeline records a contended N-processor run (default 4) and emits\n\
          a Chrome trace-event document (load in Perfetto / chrome://tracing);\n\
-         metrics emits the same run's latency histograms, windowed series\n\
-         and machine report as JSON; both print to stdout without --out"
+         metrics emits the same run's latency histograms, windowed series,\n\
+         per-page attribution and machine report as JSON; both print to\n\
+         stdout without --out;\n\
+         top ranks the run's hottest pages by consistency-protocol traffic\n\
+         with per-CPU breakdowns and ping-pong/false-sharing verdicts\n\
+         (--workload: contended (default), lock, false; --page: 128/256/512);\n\
+         compare diffs two metrics JSON files (bus utilization, miss-service\n\
+         p50/p99, refs/s, ping-pong episodes) against relative thresholds\n\
+         (--threshold PCT applies one percentage to every metric) and exits\n\
+         non-zero on regression"
     );
     ExitCode::FAILURE
 }
@@ -173,11 +188,13 @@ fn run() -> Result<(), String> {
                 pool = pool.threads(n.parse().map_err(|e| format!("bad --threads: {e}"))?);
             }
             let mut jobs = Vec::new();
+            let mut cells = Vec::new();
             for kb in [64u64, 128, 256] {
                 for page in PageSize::PROTOTYPE_SIZES {
                     let config =
                         CacheConfig::new(page, assoc, kb * 1024).map_err(|e| e.to_string())?;
                     jobs.push(SweepJob::new(format!("{kb}KB/{page}"), config));
+                    cells.push((kb, page));
                 }
             }
             println!(
@@ -188,23 +205,63 @@ fn run() -> Result<(), String> {
             );
             let shared = Arc::clone(&trace);
             let start = std::time::Instant::now();
-            let results =
-                pool.run(jobs, move |job| classify_misses(job.input, shared.iter().copied()));
+            let results = pool.run(jobs, move |job| {
+                let misses = classify_misses(job.input, shared.iter().copied());
+                let attrib = attrib_cell(job.input);
+                (misses, attrib)
+            });
             let wall = start.elapsed();
-            let mut labels = Vec::new();
-            for kb in [64u64, 128, 256] {
-                for page in PageSize::PROTOTYPE_SIZES {
-                    labels.push(format!("{kb:3} KB @ {page}"));
-                }
-            }
-            for (label, c) in labels.iter().zip(&results) {
+            let mut csv = CsvTable::new(&[
+                "label",
+                "cache_kb",
+                "page_bytes",
+                "refs",
+                "misses",
+                "miss_pct",
+                "cold",
+                "capacity",
+                "conflict",
+                "ownership_transfers",
+                "ping_pong_episodes",
+                "true_sharing_bounces",
+                "false_sharing_bounces",
+                "bus_util_pct",
+            ]);
+            for (&(kb, page), (c, cell)) in cells.iter().zip(&results) {
+                let cell = cell.as_ref().map_err(|e| e.clone())?;
                 println!(
-                    "  {label}: miss {:.3}% (cold {} + capacity {} + conflict {})",
+                    "  {kb:3} KB @ {page}: miss {:.3}% (cold {} + capacity {} + conflict {}); \
+                     contended: {} transfers, {} ping-pong ({} true / {} false), bus {:.1}%",
                     100.0 * c.miss_ratio(),
                     c.cold,
                     c.capacity,
-                    c.conflict
+                    c.conflict,
+                    cell.transfers,
+                    cell.episodes,
+                    cell.true_bounces,
+                    cell.false_bounces,
+                    100.0 * cell.bus_util
                 );
+                csv.row(&[
+                    format!("{kb}KB/{page}"),
+                    kb.to_string(),
+                    page.bytes().to_string(),
+                    c.refs.to_string(),
+                    c.total_misses().to_string(),
+                    format!("{:.4}", 100.0 * c.miss_ratio()),
+                    c.cold.to_string(),
+                    c.capacity.to_string(),
+                    c.conflict.to_string(),
+                    cell.transfers.to_string(),
+                    cell.episodes.to_string(),
+                    cell.true_bounces.to_string(),
+                    cell.false_bounces.to_string(),
+                    format!("{:.2}", 100.0 * cell.bus_util),
+                ]);
+            }
+            if let Some(path) = flag(&args, "--csv") {
+                std::fs::write(&path, csv.render()).map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote {} csv rows to {path}", csv.rows());
             }
             let total_refs = trace.len() as u64 * results.len() as u64;
             println!(
@@ -328,6 +385,7 @@ fn run() -> Result<(), String> {
             let (mut m, procs) = observed_machine(&args)?;
             let report = m.run().map_err(|e| format!("run: {e}"))?;
             let obs = m.obs().expect("recording is enabled");
+            warn_if_dropped(obs);
             let doc = chrome_trace(obs).to_string();
             match flag(&args, "--out") {
                 Some(path) => {
@@ -363,6 +421,132 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        Some("top") => {
+            let n: usize = flag(&args, "--n")
+                .unwrap_or_else(|| "10".into())
+                .parse()
+                .map_err(|e| format!("bad --n: {e}"))?;
+            let (mut m, procs) = observed_machine(&args)?;
+            let page_bytes = m.page_size().bytes();
+            let report = m.run().map_err(|e| format!("run: {e}"))?;
+            let obs = m.obs().expect("recording is enabled");
+            warn_if_dropped(obs);
+            let attrib = obs.attrib().expect("attribution is enabled");
+            let s = attrib.summary();
+            println!(
+                "{procs}-processor contended run: {} us simulated, bus {:.1}% busy",
+                report.elapsed.as_ns() / 1000,
+                100.0 * report.bus_utilization()
+            );
+            println!(
+                "{} pages touched; {} ownership transfers, {} ping-pong episodes \
+                 ({} true-sharing / {} false-sharing / {} unclassified bounces)",
+                s.pages,
+                s.transfers,
+                s.episodes,
+                s.true_bounces,
+                s.false_bounces,
+                s.unknown_bounces
+            );
+            println!("top {} pages by consistency-protocol traffic:", n.min(attrib.page_count()));
+            println!(
+                "{:>4}  {:>14}  {:>7}  {:>5} {:>5} {:>5} {:>5}  {:>6}  {:>7}  {:>5} {:>3}  verdict",
+                "rank",
+                "page",
+                "traffic",
+                "rs",
+                "rp",
+                "ao",
+                "wb",
+                "aborts",
+                "svc_us",
+                "xfers",
+                "pp"
+            );
+            for (rank, (key, p)) in attrib.top_by_traffic(n).iter().enumerate() {
+                println!(
+                    "{:>4}  {:>14}  {:>7}  {:>5} {:>5} {:>5} {:>5}  {:>6}  {:>7}  {:>5} {:>3}  {}",
+                    rank + 1,
+                    format!("{}:{:#x}", key.asid.raw(), key.vpn.raw() * page_bytes),
+                    p.traffic(),
+                    p.count(TxClass::ReadShared),
+                    p.count(TxClass::ReadPrivate),
+                    p.count(TxClass::AssertOwnership),
+                    p.count(TxClass::WriteBack),
+                    p.aborts(),
+                    p.service().as_ns() / 1000,
+                    p.transfers(),
+                    p.episodes(),
+                    p.verdict().label()
+                );
+                for cpu in 0..attrib.cpus() {
+                    if p.cpu_traffic(cpu) == 0 && p.cpu_aborts(cpu) == 0 {
+                        continue;
+                    }
+                    let (reads, writes) = p.cpu_accesses(cpu);
+                    println!(
+                        "      cpu{cpu}: traffic {}, aborts {}, reads {reads}, writes {writes}, \
+                         footprint {:#x}",
+                        p.cpu_traffic(cpu),
+                        p.cpu_aborts(cpu),
+                        p.cpu_footprint(cpu)
+                    );
+                }
+            }
+            if let Some(path) = flag(&args, "--out") {
+                let doc = metrics_json(obs, report.elapsed).set("report", report.to_json());
+                std::fs::write(&path, doc.to_string()).map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote metrics (with attribution) to {path}");
+            }
+            Ok(())
+        }
+        Some("compare") => {
+            let base_path = args.get(1).ok_or("compare requires BASELINE and CURRENT files")?;
+            let cur_path = args.get(2).ok_or("compare requires BASELINE and CURRENT files")?;
+            let thresholds = match flag(&args, "--threshold") {
+                Some(pct) => {
+                    let pct: f64 = pct.parse().map_err(|e| format!("bad --threshold: {e}"))?;
+                    if !(0.0..=1000.0).contains(&pct) {
+                        return Err("--threshold must be a percentage in 0..=1000".into());
+                    }
+                    CompareThresholds::uniform(pct / 100.0)
+                }
+                None => CompareThresholds::default(),
+            };
+            let read = |path: &str| -> Result<json::Value, String> {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+            };
+            let base = read(base_path)?;
+            let cur = read(cur_path)?;
+            let out = compare_metrics(&base, &cur, &thresholds)?;
+            println!("comparing {cur_path} against baseline {base_path}:");
+            for c in &out.checks {
+                println!(
+                    "  {:<22} {:>14.3} -> {:>14.3}  {:>+8.2}% (limit {:.0}%)  {}",
+                    c.metric,
+                    c.baseline,
+                    c.current,
+                    100.0 * c.change,
+                    100.0 * c.threshold,
+                    if c.regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            for name in &out.skipped {
+                println!("  {name:<22} skipped (absent from both documents)");
+            }
+            if out.passed() {
+                println!("compare: PASS ({} metrics checked)", out.checks.len());
+                Ok(())
+            } else {
+                Err(format!(
+                    "compare: {} of {} metrics regressed",
+                    out.regressions(),
+                    out.checks.len()
+                ))
+            }
+        }
         _ => {
             usage();
             Err(String::new())
@@ -370,11 +554,27 @@ fn run() -> Result<(), String> {
     }
 }
 
-/// Builds the deterministic contended workload the `timeline` and
-/// `metrics` subcommands record: two processors fight over a spin lock
-/// and its shared counter while the remaining processors false-share a
-/// pair of pages, so misses, upgrades, consistency interrupts, retries
-/// and write-backs all show up on the recorded tracks.
+/// Which program mix the observed (`timeline`/`metrics`/`top`) run
+/// uses.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ObservedWorkload {
+    /// Two lock fighters plus false-sharing sweepers (the default mix).
+    Contended,
+    /// Every processor fights over one spin lock: pure true sharing.
+    Lock,
+    /// Every processor sweeps its own interleaved words of the same
+    /// pages: pure false sharing.
+    FalseShare,
+}
+
+/// Builds the deterministic contended workload the `timeline`,
+/// `metrics` and `top` subcommands record. In the default mix two
+/// processors fight over a spin lock and its shared counter while the
+/// remaining processors false-share a pair of pages, so misses,
+/// upgrades, consistency interrupts, retries and write-backs all show
+/// up on the recorded tracks; `--workload lock`/`false` isolate the
+/// true- and false-sharing halves, and `--page` changes the cache-page
+/// geometry.
 fn observed_machine(args: &[String]) -> Result<(Machine, usize), String> {
     let procs: usize = flag(args, "--procs")
         .unwrap_or_else(|| "4".into())
@@ -383,36 +583,114 @@ fn observed_machine(args: &[String]) -> Result<(Machine, usize), String> {
     if procs < 2 {
         return Err("--procs must be at least 2".into());
     }
+    let workload = match flag(args, "--workload").as_deref() {
+        None | Some("contended") => ObservedWorkload::Contended,
+        Some("lock") => ObservedWorkload::Lock,
+        Some("false") => ObservedWorkload::FalseShare,
+        Some(w) => return Err(format!("bad --workload {w:?} (want contended, lock or false)")),
+    };
+    let small = MachineConfig::small();
+    let cache = match flag(args, "--page") {
+        Some(bytes) => {
+            let bytes: u64 = bytes.parse().map_err(|e| format!("bad --page: {e}"))?;
+            let page = PageSize::new(bytes).map_err(|e| e.to_string())?;
+            CacheConfig::new(page, 2, 8 * 1024).map_err(|e| e.to_string())?
+        }
+        None => small.cache,
+    };
+    let m = build_observed(procs, cache, workload)?;
+    Ok((m, procs))
+}
+
+/// Builds an observed machine (recording + attribution on) running the
+/// given workload mix at the given cache geometry.
+fn build_observed(
+    procs: usize,
+    cache: CacheConfig,
+    workload: ObservedWorkload,
+) -> Result<Machine, String> {
     let mut config = MachineConfig::small();
     config.processors = procs;
+    config.cache = cache;
     config.validate_each_step = false;
     config.max_time = Nanos::from_ms(60_000);
-    config.obs = ObsConfig::on();
+    config.obs = ObsConfig::with_attrib();
     let page = config.cache.page_size().bytes();
     let mut m = Machine::build(config).map_err(|e| format!("build: {e}"))?;
-    for cpu in 0..2 {
-        m.set_program(
-            cpu,
-            LockWorker::new(
-                LockDiscipline::Spin,
-                VirtAddr::new(0x1000),
-                VirtAddr::new(0x2000),
-                16,
-                Nanos::from_us(2),
-                Nanos::from_us(3),
-            ),
-        )
-        .expect("program slot exists");
+    for cpu in 0..procs {
+        let lock_worker = match workload {
+            ObservedWorkload::Contended => cpu < 2,
+            ObservedWorkload::Lock => true,
+            ObservedWorkload::FalseShare => false,
+        };
+        if lock_worker {
+            m.set_program(
+                cpu,
+                LockWorker::new(
+                    LockDiscipline::Spin,
+                    VirtAddr::new(0x1000),
+                    VirtAddr::new(0x2000),
+                    16,
+                    Nanos::from_us(2),
+                    Nanos::from_us(3),
+                ),
+            )
+            .expect("program slot exists");
+        } else {
+            // One private word per CPU, interleaved on the same pages.
+            let lane = match workload {
+                ObservedWorkload::Contended => cpu as u64 - 2,
+                _ => cpu as u64,
+            };
+            m.set_program(
+                cpu,
+                SweepWorker::new(VirtAddr::new(0x4000 + 4 * lane), 2 * page / 8, 8, 3, true),
+            )
+            .expect("program slot exists");
+        }
     }
-    for cpu in 2..procs {
-        let offset = 4 * (cpu as u64 - 2);
-        m.set_program(
-            cpu,
-            SweepWorker::new(VirtAddr::new(0x4000 + offset), 2 * page / 8, 8, 3, true),
-        )
-        .expect("program slot exists");
+    Ok(m)
+}
+
+/// Headline attribution numbers of one sweep grid cell, measured by
+/// running the deterministic contended workload at that geometry.
+struct CellAttrib {
+    transfers: u64,
+    episodes: u64,
+    true_bounces: u64,
+    false_bounces: u64,
+    bus_util: f64,
+}
+
+/// Runs the contended 4-processor workload at one cache geometry and
+/// extracts its attribution summary (pure: safe inside the sweep pool).
+fn attrib_cell(cache: CacheConfig) -> Result<CellAttrib, String> {
+    let mut m = build_observed(4, cache, ObservedWorkload::Contended)?;
+    let report = m.run().map_err(|e| format!("attrib cell: {e}"))?;
+    let s = m
+        .obs()
+        .and_then(|o| o.attrib())
+        .map(|a| a.summary())
+        .ok_or("attrib cell: attribution missing")?;
+    Ok(CellAttrib {
+        transfers: s.transfers,
+        episodes: s.episodes,
+        true_bounces: s.true_bounces,
+        false_bounces: s.false_bounces,
+        bus_util: report.bus_utilization(),
+    })
+}
+
+/// Satellite guard: a wrapped ring means the exported timeline is
+/// missing its oldest events — never let that pass silently.
+fn warn_if_dropped(obs: &MachineObs) {
+    let dropped = obs.total_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: {dropped} events were dropped (a ring wrapped); the oldest events \
+             are missing — raise ObsConfig::ring_capacity for a complete timeline"
+        );
     }
-    Ok((m, procs))
 }
 
 /// Events currently held across all of a recorder's rings.

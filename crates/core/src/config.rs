@@ -245,6 +245,9 @@ impl MachineConfig {
             if self.obs.window == Nanos::ZERO {
                 return Err(ConfigError::ZeroCount { what: "obs window width" });
             }
+            if self.obs.attrib && self.obs.attrib_window == Nanos::ZERO {
+                return Err(ConfigError::ZeroCount { what: "obs attribution window" });
+            }
             debug_assert!(self.obs.validate().is_ok());
         }
         Ok(())
@@ -310,6 +313,9 @@ mod tests {
         assert!(c.check().is_err());
         // The same parameters pass when recording is off (they are unused)
         // and when recording is on with sane values.
+        let c = with_obs(ObsConfig { attrib: true, attrib_window: Nanos::ZERO, ..ObsConfig::on() });
+        assert!(c.check().is_err());
+        with_obs(ObsConfig::with_attrib()).check().unwrap();
         let c = with_obs(ObsConfig { enabled: false, ring_capacity: 0, ..ObsConfig::default() });
         c.check().unwrap();
         with_obs(ObsConfig::on()).check().unwrap();

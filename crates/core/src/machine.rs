@@ -692,6 +692,14 @@ impl Machine {
             }
             start + dur
         };
+        // Contention attribution: the four tracked kinds flow only
+        // through this chokepoint, so the table's per-class totals stay
+        // in lock-step with the bus's own counters.
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let Some(a) = o.attrib_mut() {
+                a.record_tx(tx.frame, tx.issuer.index(), tx.kind, abort, end);
+            }
+        }
         // Real FIFO overflows observed during the address phase: the
         // monitor lost the word and raised its sticky flag.
         if !overflowed.is_empty() {
@@ -1242,6 +1250,20 @@ impl Machine {
     fn data_op(&mut self, cpu: usize, slot: SlotId, va: VirtAddr, op: Op) -> OpResult {
         let page = self.page_size();
         let offset = (page.offset_of(va.raw()) & !3) as usize;
+        let asid = self.cpus[cpu].asid;
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let Some(a) = o.attrib_mut() {
+                let write = matches!(op, Op::Write(..) | Op::Tas(_));
+                a.record_touch(
+                    asid,
+                    page.vpn_of(va),
+                    cpu,
+                    offset as u32,
+                    page.bytes() as u32,
+                    write,
+                );
+            }
+        }
         self.cpus[cpu].stats.refs += 1;
         self.cpus[cpu].zero_yield_acquires = 0;
         match op {
@@ -1295,6 +1317,8 @@ impl Machine {
         self.cpus[cpu].monitor.table_mut().set(cont.frame, ActionCode::Protect);
         self.cpus[cpu].zero_yield_acquires += 1;
         self.cpus[cpu].stats.stall_time += end.saturating_sub(t);
+        let asid = self.cpus[cpu].asid;
+        let vpn = self.page_size().vpn_of(cont.va);
         if let Some(o) = self.obs.as_deref_mut() {
             o.cpu_event(
                 cpu,
@@ -1302,6 +1326,9 @@ impl Machine {
                 EventKind::MissEnd { cause: MissCause::Upgrade, completed: true },
             );
             o.miss_service.record(end.saturating_sub(t));
+            if let Some(a) = o.attrib_mut() {
+                a.record_service(asid, vpn, end.saturating_sub(t));
+            }
         }
         self.finish_access(cpu, cont.op, cont.va, cont.slot, end)
     }
@@ -1340,9 +1367,13 @@ impl Machine {
         }
         let slot = self.install_fetched(cpu, &cont);
         self.cpus[cpu].stats.stall_time += end.saturating_sub(t);
+        let vpn = self.page_size().vpn_of(cont.va);
         if let Some(o) = self.obs.as_deref_mut() {
             o.cpu_event(cpu, end, EventKind::MissEnd { cause: cont.cause, completed: true });
             o.miss_service.record(end.saturating_sub(t));
+            if let Some(a) = o.attrib_mut() {
+                a.record_service(cont.asid, vpn, end.saturating_sub(t));
+            }
         }
         self.finish_access(cpu, cont.op, cont.va, slot, end)
     }
@@ -1368,6 +1399,11 @@ impl Machine {
             if cont.want_private { ActionCode::Protect } else { ActionCode::InterruptOnOwnership };
         self.cpus[cpu].monitor.table_mut().set(cont.frame, code);
         self.cpus[cpu].zero_yield_acquires += 1;
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let Some(a) = o.attrib_mut() {
+                a.map_frame(cont.frame, cont.asid, vpn);
+            }
+        }
         cont.slot
     }
 
@@ -1446,6 +1482,9 @@ impl Machine {
             o.cpu_event(cpu, end, EventKind::MissEnd { cause, completed: true });
             if depth == 0 {
                 o.miss_service.record(end.saturating_sub(t_begin));
+                if let Some(a) = o.attrib_mut() {
+                    a.record_service(asid, vpn, end.saturating_sub(t_begin));
+                }
             }
         }
         Ok(FetchOutcome::Loaded { slot, end })
@@ -1508,6 +1547,13 @@ impl Machine {
                 frame
             }
         };
+        // Teach attribution the frame's identity *before* the block
+        // fetch, so even a page's very first transaction attributes.
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let Some(a) = o.attrib_mut() {
+                a.map_frame(frame, asid, vpn);
+            }
+        }
         Ok(ResolveOutcome::Frame(frame, t))
     }
 

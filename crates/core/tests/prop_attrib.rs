@@ -1,0 +1,115 @@
+//! Property-based tests of the contention attribution table: per-page
+//! transaction counts must sum exactly to the bus's own per-kind
+//! counters, and attribution-enabled runs must be bit-identical to
+//! attribution-disabled ones (memory oracle plus report equality).
+
+use proptest::prelude::*;
+use vmp_core::{Machine, MachineConfig, ObsConfig, Op, ScriptProgram};
+use vmp_obs::TxClass;
+use vmp_types::{Asid, Nanos, VirtAddr};
+
+/// Op generator over a small pool of word addresses shared by both
+/// processors — writes and test-and-sets force ownership traffic.
+fn arb_op(pages: u64) -> impl Strategy<Value = Op> {
+    let addr = (0..pages, 0u64..4).prop_map(|(p, w)| VirtAddr::new(0x1000 + p * 0x1000 + w * 4));
+    prop_oneof![
+        addr.clone().prop_map(Op::Read),
+        (addr.clone(), any::<u32>()).prop_map(|(a, v)| Op::Write(a, v)),
+        addr.prop_map(Op::Tas),
+        (1u64..2000).prop_map(|ns| Op::Compute(Nanos::from_ns(ns))),
+    ]
+}
+
+fn config(processors: usize, obs: ObsConfig) -> MachineConfig {
+    let mut config = MachineConfig::small();
+    config.processors = processors;
+    config.validate_each_step = false;
+    config.max_time = Nanos::from_ms(60_000);
+    config.obs = obs;
+    config
+}
+
+fn machine(ops: &[Vec<Op>], obs: ObsConfig) -> Machine {
+    let mut m = Machine::build(config(ops.len(), obs)).unwrap();
+    for (cpu, ops) in ops.iter().enumerate() {
+        let mut script = ops.clone();
+        script.push(Op::Halt);
+        m.set_program(cpu, ScriptProgram::new(script)).unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every tracked transaction lands somewhere — a page record or the
+    /// unattributed bucket — so the attribution table's per-class
+    /// totals equal the bus's own counters exactly, completed and
+    /// aborted alike.
+    #[test]
+    fn per_page_counts_sum_to_bus_totals(
+        ops0 in proptest::collection::vec(arb_op(3), 1..50),
+        ops1 in proptest::collection::vec(arb_op(3), 1..50),
+    ) {
+        let mut m = machine(&[ops0, ops1], ObsConfig::with_attrib());
+        let report = m.run().unwrap();
+        m.validate().unwrap();
+
+        let attrib = m.obs().and_then(|o| o.attrib()).expect("attribution is enabled");
+        let mut tracked_aborts = 0u64;
+        for class in TxClass::ALL {
+            prop_assert_eq!(
+                attrib.class_total(class),
+                report.bus.count(class.kind()),
+                "completed {} transactions must attribute exactly",
+                class.label()
+            );
+            prop_assert_eq!(
+                attrib.unattributed(class),
+                0,
+                "every frame is mapped before its first transaction"
+            );
+            tracked_aborts += report.bus.abort_count(class.kind());
+        }
+        prop_assert_eq!(
+            attrib.abort_total(),
+            tracked_aborts,
+            "aborts must attribute exactly"
+        );
+    }
+
+    /// Attribution only reads simulator state: an attribution-enabled
+    /// run must be bit-identical to a recording-only run *and* to a
+    /// fully disabled one.
+    #[test]
+    fn attribution_never_perturbs_the_machine(
+        ops0 in proptest::collection::vec(arb_op(3), 1..40),
+        ops1 in proptest::collection::vec(arb_op(3), 1..40),
+    ) {
+        let run = |obs: ObsConfig| {
+            let mut m = machine(&[ops0.clone(), ops1.clone()], obs);
+            let report = m.run().unwrap();
+            m.validate().unwrap();
+            let mut snapshot = Vec::new();
+            for p in 0..3u64 {
+                for w in 0..4u64 {
+                    let va = VirtAddr::new(0x1000 + p * 0x1000 + w * 4);
+                    snapshot.push(m.peek_word(Asid::new(1), va));
+                }
+            }
+            let bus = (
+                report.bus.total(),
+                report.bus.aborts,
+                report.bus.reservations,
+                report.bus.busy.busy(),
+                report.bus.arb_wait_total,
+            );
+            (report.elapsed, snapshot, report.processors, report.faults, bus)
+        };
+        let off = run(ObsConfig::default());
+        let obs_only = run(ObsConfig::on());
+        let attrib = run(ObsConfig::with_attrib());
+        prop_assert_eq!(&off, &obs_only, "recording alone must not perturb the run");
+        prop_assert_eq!(&obs_only, &attrib, "attribution must not perturb the run");
+    }
+}

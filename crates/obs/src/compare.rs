@@ -1,0 +1,361 @@
+//! Cross-run metrics comparison: diff two [`metrics_json`] documents
+//! against relative thresholds and report regressions.
+//!
+//! This is the gate behind `vmp-trace-tool compare`: CI snapshots the
+//! deterministic contended workload into a committed baseline and every
+//! subsequent run is diffed against it. Each metric carries a
+//! direction (higher or lower is worse), a relative threshold, and an
+//! absolute floor below which changes are noise; a metric regresses
+//! only when it moves past *both*.
+//!
+//! Metrics missing from **both** documents are skipped (older baselines
+//! without attribution still gate the rest); a metric present in the
+//! baseline but missing from the current run is an error — the schema
+//! went backwards, which a gate must not silently forgive.
+//!
+//! [`metrics_json`]: crate::metrics_json
+
+use crate::json::Value;
+
+/// One gated metric's relative threshold plus absolute noise floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    /// Maximum tolerated relative change in the worse direction
+    /// (0.20 = 20 %).
+    pub rel: f64,
+    /// Absolute change below which the metric never regresses (guards
+    /// tiny baselines and division noise).
+    pub floor: f64,
+}
+
+/// Thresholds for every gated metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareThresholds {
+    /// Mean bus utilization (fraction busy; higher is worse).
+    pub bus_util: Threshold,
+    /// Miss-service p50 in nanoseconds (higher is worse).
+    pub miss_p50: Threshold,
+    /// Miss-service p99 in nanoseconds (higher is worse).
+    pub miss_p99: Threshold,
+    /// Program references per simulated second (lower is worse).
+    pub refs_per_sec: Threshold,
+    /// Ping-pong episodes from the attribution summary (higher is
+    /// worse).
+    pub ping_pong: Threshold,
+}
+
+impl Default for CompareThresholds {
+    /// Generous defaults for a CI gate: 20 % on latency and
+    /// throughput, 25 % on contention counts.
+    fn default() -> Self {
+        CompareThresholds {
+            bus_util: Threshold { rel: 0.20, floor: 0.01 },
+            miss_p50: Threshold { rel: 0.20, floor: 500.0 },
+            miss_p99: Threshold { rel: 0.20, floor: 500.0 },
+            refs_per_sec: Threshold { rel: 0.20, floor: 100.0 },
+            ping_pong: Threshold { rel: 0.25, floor: 2.0 },
+        }
+    }
+}
+
+impl CompareThresholds {
+    /// The same relative threshold on every metric, keeping the
+    /// default noise floors.
+    pub fn uniform(rel: f64) -> Self {
+        let d = CompareThresholds::default();
+        CompareThresholds {
+            bus_util: Threshold { rel, ..d.bus_util },
+            miss_p50: Threshold { rel, ..d.miss_p50 },
+            miss_p99: Threshold { rel, ..d.miss_p99 },
+            refs_per_sec: Threshold { rel, ..d.refs_per_sec },
+            ping_pong: Threshold { rel, ..d.ping_pong },
+        }
+    }
+}
+
+/// The outcome of one metric's check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareCheck {
+    /// Metric name (stable, lower-snake-case).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed relative change, positive in the *worse* direction.
+    pub change: f64,
+    /// The relative threshold applied.
+    pub threshold: f64,
+    /// Whether the change exceeds both threshold and floor.
+    pub regressed: bool,
+}
+
+/// The outcome of a whole comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompareOutcome {
+    /// One entry per metric checked.
+    pub checks: Vec<CompareCheck>,
+    /// Metrics absent from both documents (skipped, not failed).
+    pub skipped: Vec<&'static str>,
+}
+
+impl CompareOutcome {
+    /// Number of metrics that regressed.
+    pub fn regressions(&self) -> usize {
+        self.checks.iter().filter(|c| c.regressed).count()
+    }
+
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+}
+
+fn lookup<'a>(doc: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key)?;
+    }
+    Some(v)
+}
+
+fn number(doc: &Value, path: &[&str]) -> Option<f64> {
+    lookup(doc, path)?.as_f64()
+}
+
+/// Mean of the per-window bus-utilization series; `None` when the
+/// series is missing or empty.
+fn mean_bus_util(doc: &Value) -> Option<f64> {
+    let arr = lookup(doc, &["bus_utilization"])?.as_arr()?;
+    let vals: Vec<f64> = arr.iter().filter_map(|v| v.as_f64()).collect();
+    if vals.is_empty() {
+        return None;
+    }
+    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// References per simulated second, derived from the embedded machine
+/// report (`report.total_refs` over `elapsed_ns`).
+fn refs_per_sec(doc: &Value) -> Option<f64> {
+    let refs = number(doc, &["report", "total_refs"])?;
+    let elapsed = number(doc, &["elapsed_ns"])?;
+    if elapsed <= 0.0 {
+        return None;
+    }
+    Some(refs * 1e9 / elapsed)
+}
+
+struct MetricSpec {
+    name: &'static str,
+    higher_is_worse: bool,
+    extract: fn(&Value) -> Option<f64>,
+    threshold: fn(&CompareThresholds) -> Threshold,
+}
+
+const METRICS: [MetricSpec; 5] = [
+    MetricSpec {
+        name: "bus_utilization_mean",
+        higher_is_worse: true,
+        extract: mean_bus_util,
+        threshold: |t| t.bus_util,
+    },
+    MetricSpec {
+        name: "miss_service_p50_ns",
+        higher_is_worse: true,
+        extract: |d| number(d, &["histograms", "miss_service_ns", "p50_ns"]),
+        threshold: |t| t.miss_p50,
+    },
+    MetricSpec {
+        name: "miss_service_p99_ns",
+        higher_is_worse: true,
+        extract: |d| number(d, &["histograms", "miss_service_ns", "p99_ns"]),
+        threshold: |t| t.miss_p99,
+    },
+    MetricSpec {
+        name: "refs_per_sec",
+        higher_is_worse: false,
+        extract: refs_per_sec,
+        threshold: |t| t.refs_per_sec,
+    },
+    MetricSpec {
+        name: "ping_pong_episodes",
+        higher_is_worse: true,
+        extract: |d| number(d, &["attrib", "summary", "ping_pong_episodes"]),
+        threshold: |t| t.ping_pong,
+    },
+];
+
+/// Diffs two metrics documents. Returns the per-metric outcome, or an
+/// error when the current document dropped a metric the baseline has.
+pub fn compare_metrics(
+    baseline: &Value,
+    current: &Value,
+    thresholds: &CompareThresholds,
+) -> Result<CompareOutcome, String> {
+    let mut out = CompareOutcome::default();
+    for spec in &METRICS {
+        let base = (spec.extract)(baseline);
+        let cur = (spec.extract)(current);
+        let (base, cur) = match (base, cur) {
+            (Some(b), Some(c)) => (b, c),
+            (None, None) => {
+                out.skipped.push(spec.name);
+                continue;
+            }
+            (Some(_), None) => {
+                return Err(format!(
+                    "metric '{}' present in baseline but missing from current run",
+                    spec.name
+                ));
+            }
+            (None, Some(_)) => {
+                // The current run gained a metric the baseline lacks
+                // (e.g. attribution switched on): nothing to diff yet.
+                out.skipped.push(spec.name);
+                continue;
+            }
+        };
+        let t = (spec.threshold)(thresholds);
+        // Positive `delta` always means "moved in the worse direction".
+        let delta = if spec.higher_is_worse { cur - base } else { base - cur };
+        let change = if base.abs() > f64::EPSILON { delta / base.abs() } else { f64::INFINITY };
+        let regressed = delta > t.floor && change > t.rel;
+        out.checks.push(CompareCheck {
+            metric: spec.name,
+            baseline: base,
+            current: cur,
+            change: if change.is_finite() { change } else { 0.0 },
+            threshold: t.rel,
+            regressed,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(p50: u64, p99: u64, util: f64, refs: u64, pp: u64) -> Value {
+        parse(&format!(
+            r#"{{
+              "elapsed_ns": 1000000000,
+              "histograms": {{"miss_service_ns": {{"p50_ns": {p50}, "p99_ns": {p99}}}}},
+              "bus_utilization": [{util}],
+              "report": {{"total_refs": {refs}}},
+              "attrib": {{"summary": {{"ping_pong_episodes": {pp}}}}}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let a = doc(17_000, 36_000, 0.25, 1_000_000, 40);
+        let out = compare_metrics(&a, &a, &CompareThresholds::default()).unwrap();
+        assert_eq!(out.checks.len(), 5);
+        assert!(out.passed());
+        assert!(out.skipped.is_empty());
+        for c in &out.checks {
+            assert_eq!(c.change, 0.0, "{}", c.metric);
+        }
+    }
+
+    #[test]
+    fn worse_direction_changes_regress() {
+        let base = doc(17_000, 36_000, 0.25, 1_000_000, 40);
+        let cur = doc(25_000, 80_000, 0.40, 500_000, 90);
+        let out = compare_metrics(&base, &cur, &CompareThresholds::default()).unwrap();
+        assert_eq!(out.regressions(), 5);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn better_direction_changes_never_regress() {
+        let base = doc(17_000, 36_000, 0.25, 1_000_000, 40);
+        let cur = doc(9_000, 20_000, 0.10, 2_000_000, 5);
+        let out = compare_metrics(&base, &cur, &CompareThresholds::default()).unwrap();
+        assert!(out.passed());
+        for c in &out.checks {
+            assert!(c.change <= 0.0, "{} change {}", c.metric, c.change);
+        }
+    }
+
+    #[test]
+    fn floor_absorbs_tiny_absolute_changes() {
+        // +400 ns on p99 is a 40 % relative change but below the 500 ns
+        // floor; +4 ping-pong episodes on a baseline of 2 is +200 % and
+        // above the floor of 2.
+        let base = doc(17_000, 1_000, 0.25, 1_000_000, 2);
+        let cur = doc(17_000, 1_400, 0.25, 1_000_000, 6);
+        let out = compare_metrics(&base, &cur, &CompareThresholds::default()).unwrap();
+        let by_name = |n: &str| out.checks.iter().find(|c| c.metric == n).unwrap();
+        assert!(!by_name("miss_service_p99_ns").regressed);
+        assert!(by_name("ping_pong_episodes").regressed);
+    }
+
+    #[test]
+    fn metric_missing_from_both_is_skipped() {
+        let strip = |d: &Value| {
+            // Rebuild without the attrib section.
+            parse(
+                r#"{"elapsed_ns": 1000000000,
+                    "histograms": {"miss_service_ns": {"p50_ns": 17000, "p99_ns": 36000}},
+                    "bus_utilization": [0.25],
+                    "report": {"total_refs": 1000000}}"#,
+            )
+            .unwrap_or_else(|_| d.clone())
+        };
+        let a = doc(17_000, 36_000, 0.25, 1_000_000, 40);
+        let out = compare_metrics(&strip(&a), &strip(&a), &CompareThresholds::default()).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.skipped, vec!["ping_pong_episodes"]);
+    }
+
+    #[test]
+    fn metric_dropped_by_current_run_is_an_error() {
+        let base = doc(17_000, 36_000, 0.25, 1_000_000, 40);
+        let cur = parse(
+            r#"{"elapsed_ns": 1000000000,
+                "histograms": {"miss_service_ns": {"p50_ns": 17000, "p99_ns": 36000}},
+                "bus_utilization": [0.25],
+                "report": {"total_refs": 1000000}}"#,
+        )
+        .unwrap();
+        assert!(compare_metrics(&base, &cur, &CompareThresholds::default()).is_err());
+    }
+
+    #[test]
+    fn metric_gained_by_current_run_is_skipped() {
+        let base = parse(
+            r#"{"elapsed_ns": 1000000000,
+                "histograms": {"miss_service_ns": {"p50_ns": 17000, "p99_ns": 36000}},
+                "bus_utilization": [0.25],
+                "report": {"total_refs": 1000000}}"#,
+        )
+        .unwrap();
+        let cur = doc(17_000, 36_000, 0.25, 1_000_000, 40);
+        let out = compare_metrics(&base, &cur, &CompareThresholds::default()).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.skipped, vec!["ping_pong_episodes"]);
+    }
+
+    #[test]
+    fn uniform_overrides_every_relative_threshold() {
+        let t = CompareThresholds::uniform(0.5);
+        assert_eq!(t.bus_util.rel, 0.5);
+        assert_eq!(t.ping_pong.rel, 0.5);
+        // Floors keep their defaults.
+        assert_eq!(t.miss_p50.floor, CompareThresholds::default().miss_p50.floor);
+    }
+
+    #[test]
+    fn zero_baseline_with_real_growth_regresses() {
+        let base = doc(17_000, 36_000, 0.25, 1_000_000, 0);
+        let cur = doc(17_000, 36_000, 0.25, 1_000_000, 50);
+        let out = compare_metrics(&base, &cur, &CompareThresholds::default()).unwrap();
+        let pp = out.checks.iter().find(|c| c.metric == "ping_pong_episodes").unwrap();
+        assert!(pp.regressed);
+    }
+}

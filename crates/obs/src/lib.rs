@@ -13,7 +13,13 @@
 //! * [`chrome_trace`] — a Chrome trace-event document (Perfetto-viewable
 //!   timeline, one track per processor + one for the bus);
 //! * [`metrics_json`] — a machine-readable metrics report;
-//! * [`json`] — the std-only JSON writer/parser both exporters use.
+//! * [`AttribTable`] — per-⟨ASID, page⟩ contention attribution: who
+//!   generates the ownership traffic, with ping-pong episode detection
+//!   and a true- vs. false-sharing verdict per page (the §5.4 failure
+//!   mode, made visible);
+//! * [`compare`] — a cross-run metrics diff with relative thresholds,
+//!   the gate behind `vmp-trace-tool compare`;
+//! * [`json`] — the std-only JSON writer/parser the exporters use.
 //!
 //! **Overhead guarantee.** The recorder is allocated only when
 //! [`ObsConfig::enabled`] is set; every instrumentation site in the
@@ -52,14 +58,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attrib;
 mod chrome;
+pub mod compare;
 mod event;
 pub mod json;
 mod metrics;
 mod recorder;
 mod series;
 
+pub use attrib::{
+    attrib_json, AttribSummary, AttribTable, PageKey, PageStats, SharingVerdict, Transfer, TxClass,
+    GRANULES,
+};
 pub use chrome::chrome_trace;
+pub use compare::{compare_metrics, CompareOutcome, CompareThresholds};
 pub use event::{Event, EventKind, MissCause};
 pub use metrics::{histogram_json, metrics_json};
 pub use recorder::{EventRing, MachineObs, ObsConfig};

@@ -4,9 +4,14 @@
 use vmp_sim::Log2Histogram;
 use vmp_types::Nanos;
 
+use crate::attrib::attrib_json;
 use crate::json::Value;
 use crate::recorder::MachineObs;
 use crate::series::TimeSeries;
+
+/// Hottest pages embedded per report; the rest are counted in
+/// `pages_omitted`.
+const METRICS_TOP_PAGES: usize = 64;
 
 /// Renders a histogram as JSON: summary statistics plus the non-empty
 /// buckets (with their half-open `[lo_ns, hi_ns)` bounds).
@@ -66,7 +71,7 @@ pub fn metrics_json(obs: &MachineObs, elapsed: Nanos) -> Value {
                 ),
         );
     }
-    Value::obj()
+    let mut doc = Value::obj()
         .set("elapsed_ns", elapsed.as_ns())
         .set("window_ns", obs.window().as_ns())
         .set(
@@ -81,7 +86,11 @@ pub fn metrics_json(obs: &MachineObs, elapsed: Nanos) -> Value {
             "bus_events",
             Value::obj().set("recorded", obs.bus_recorded()).set("dropped", obs.bus_dropped()),
         )
-        .set("processors", processors)
+        .set("processors", processors);
+    if let Some(attrib) = obs.attrib() {
+        doc = doc.set("attrib", attrib_json(attrib, METRICS_TOP_PAGES));
+    }
+    doc
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use vmp_sim::Log2Histogram;
 use vmp_types::Nanos;
 
+use crate::attrib::AttribTable;
 use crate::event::{Event, EventKind};
 use crate::series::TimeSeries;
 
@@ -31,6 +32,15 @@ pub struct ObsConfig {
     /// Window width for the bus-utilization and per-processor
     /// efficiency time-series.
     pub window: Nanos,
+    /// Whether to also build the per-page contention attribution table
+    /// ([`AttribTable`]). Off by default: attribution costs a map
+    /// lookup per tracked bus transaction and per word access.
+    pub attrib: bool,
+    /// Ping-pong window: consecutive ownership transfers of a page at
+    /// most this far apart chain into one episode.
+    pub attrib_window: Nanos,
+    /// Per-page ownership-transfer history ring capacity.
+    pub attrib_ring: usize,
 }
 
 impl Default for ObsConfig {
@@ -40,6 +50,9 @@ impl Default for ObsConfig {
             ring_capacity: 65_536,
             histogram_buckets: 40,
             window: Nanos::from_ms(1),
+            attrib: false,
+            attrib_window: Nanos::from_us(250),
+            attrib_ring: 16,
         }
     }
 }
@@ -48,6 +61,11 @@ impl ObsConfig {
     /// The default configuration with recording switched on.
     pub fn on() -> Self {
         ObsConfig { enabled: true, ..ObsConfig::default() }
+    }
+
+    /// Recording *and* contention attribution switched on.
+    pub fn with_attrib() -> Self {
+        ObsConfig { attrib: true, ..ObsConfig::on() }
     }
 
     /// Validates the parameters (used by the machine config's `check`).
@@ -63,6 +81,9 @@ impl ObsConfig {
         }
         if self.window == Nanos::ZERO {
             return Err("obs window must be non-zero".into());
+        }
+        if self.attrib && self.attrib_window == Nanos::ZERO {
+            return Err("obs attribution window must be non-zero".into());
         }
         Ok(())
     }
@@ -145,6 +166,7 @@ pub struct MachineObs {
     bus_busy: TimeSeries,
     last_bus_busy: Nanos,
     window: Nanos,
+    attrib: Option<Box<AttribTable>>,
 }
 
 impl MachineObs {
@@ -166,7 +188,20 @@ impl MachineObs {
             bus_busy: TimeSeries::new(config.window),
             last_bus_busy: Nanos::ZERO,
             window: config.window,
+            attrib: config.attrib.then(|| {
+                Box::new(AttribTable::new(config.attrib_window, config.attrib_ring, processors))
+            }),
         }
+    }
+
+    /// The contention attribution table, when enabled.
+    pub fn attrib(&self) -> Option<&AttribTable> {
+        self.attrib.as_deref()
+    }
+
+    /// Mutable access for the machine's instrumentation sites.
+    pub fn attrib_mut(&mut self) -> Option<&mut AttribTable> {
+        self.attrib.as_deref_mut()
     }
 
     /// Number of processor tracks.

@@ -1,0 +1,121 @@
+//! Minimal CSV writer for sweep result tables.
+//!
+//! Sweep harnesses print human-readable grids; plotting pipelines want
+//! one machine-readable row per grid cell. This module renders exactly
+//! that: a header row plus data rows, RFC 4180-style quoting (fields
+//! containing commas, quotes, CR or LF are wrapped in double quotes
+//! with embedded quotes doubled), `\n` line endings, no trailing
+//! newline surprises — the output ends with a single `\n` iff the
+//! table has any rows.
+
+/// A CSV table with a fixed column set.
+///
+/// Rows must match the header's width; [`CsvTable::row`] panics on
+/// mismatch (a harness bug, not a data condition).
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    columns: usize,
+    lines: Vec<String>,
+}
+
+impl CsvTable {
+    /// Starts a table with the given header columns.
+    pub fn new<S: AsRef<str>>(header: &[S]) -> Self {
+        assert!(!header.is_empty(), "a CSV table needs at least one column");
+        let mut t = CsvTable { columns: header.len(), lines: Vec::new() };
+        t.push_line(header);
+        t
+    }
+
+    /// Appends one data row.
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) -> &mut Self {
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "CSV row width {} != header width {}",
+            fields.len(),
+            self.columns
+        );
+        self.push_line(fields);
+        self
+    }
+
+    fn push_line<S: AsRef<str>>(&mut self, fields: &[S]) {
+        let line = fields.iter().map(|f| escape(f.as_ref())).collect::<Vec<_>>().join(",");
+        self.lines.push(line);
+    }
+
+    /// Data rows appended so far (excluding the header).
+    pub fn rows(&self) -> usize {
+        self.lines.len() - 1
+    }
+
+    /// Renders the table: header plus rows, one `\n` after each line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Quotes a field iff it needs quoting.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(&["label", "page_bytes", "miss_pct"]);
+        t.row(&["64KB/128B", "128", "1.25"]);
+        t.row(&["64KB/512B", "512", "0.40"]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(
+            t.render(),
+            "label,page_bytes,miss_pct\n64KB/128B,128,1.25\n64KB/512B,512,0.40\n"
+        );
+    }
+
+    #[test]
+    fn quotes_fields_that_need_it() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.row(&["has,comma", "has \"quote\""]);
+        t.row(&["has\nnewline", "plain"]);
+        assert_eq!(
+            t.render(),
+            "a,b\n\"has,comma\",\"has \"\"quote\"\"\"\n\"has\nnewline\",plain\n"
+        );
+    }
+
+    #[test]
+    fn header_only_table_renders_one_line() {
+        let t = CsvTable::new(&["x"]);
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.render(), "x\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "CSV row width")]
+    fn row_width_mismatch_panics() {
+        CsvTable::new(&["a", "b"]).row(&["only-one"]);
+    }
+}

@@ -19,7 +19,7 @@
 //! | [`cache`] | `vmp-cache` | virtually-addressed set-associative cache |
 //! | [`mem`] | `vmp-mem` | main memory, block copier, local memory |
 //! | [`bus`] | `vmp-bus` | VMEbus, bus monitor, action tables |
-//! | [`obs`] | `vmp-obs` | event tracing, latency histograms, timeline export |
+//! | [`obs`] | `vmp-obs` | event tracing, latency histograms, timeline export, contention attribution, metrics compare gate |
 //! | [`faults`] | `vmp-faults` | deterministic seeded fault injection |
 //! | [`vm`] | `vmp-vm` | address spaces and two-level page tables |
 //! | [`machine`] | `vmp-core` | the full VMP machine model |
