@@ -12,6 +12,10 @@
 //! vmp-trace-tool metrics --out m.json         # latency histograms + series
 //! vmp-trace-tool top --n 10                   # hottest pages, ping-pong verdicts
 //! vmp-trace-tool compare base.json new.json   # cross-run regression gate
+//! vmp-trace-tool snapshot --workload 1 --at 500 --out s.vmpsnap
+//! vmp-trace-tool resume s.vmpsnap --verify    # continue; check bit-identity
+//! vmp-trace-tool state-diff a.vmpsnap b.vmpsnap  # first divergent field
+//! vmp-trace-tool golden --dir golden --check  # golden-state corpus gate
 //! ```
 
 use std::fs::File;
@@ -21,7 +25,7 @@ use std::sync::Arc;
 
 use vmp_cache::{classify_misses, CacheConfig};
 use vmp_core::workloads::{LockDiscipline, LockWorker, SweepWorker};
-use vmp_core::{Machine, MachineConfig, ObsConfig, WatchdogConfig};
+use vmp_core::{Machine, MachineConfig, MachineSnapshot, ObsConfig, WatchdogConfig};
 use vmp_faults::{FaultPlan, FaultRates};
 use vmp_obs::compare::{compare_metrics, CompareThresholds};
 use vmp_obs::{chrome_trace, json, metrics_json, MachineObs, TxClass};
@@ -43,7 +47,11 @@ fn usage() -> ExitCode {
          vmp-trace-tool timeline [--procs N] [--page BYTES] [--workload W] [--out FILE]\n  \
          vmp-trace-tool metrics [--procs N] [--page BYTES] [--workload W] [--out FILE]\n  \
          vmp-trace-tool top [--n N] [--procs N] [--page BYTES] [--workload W] [--out FILE]\n  \
-         vmp-trace-tool compare BASELINE CURRENT [--threshold PCT]\n\n\
+         vmp-trace-tool compare BASELINE CURRENT [--threshold PCT]\n  \
+         vmp-trace-tool snapshot --workload N [--seed S] [--at US] --out FILE\n  \
+         vmp-trace-tool resume FILE [--verify]\n  \
+         vmp-trace-tool state-diff A B\n  \
+         vmp-trace-tool golden [--dir DIR] [--check]\n\n\
          files ending in .txt use the text format; anything else is binary;\n\
          sweep runs the full page-size x cache-size grid in parallel\n\
          (thread count: --threads, else VMP_THREADS, else all cores), adds\n\
@@ -64,7 +72,15 @@ fn usage() -> ExitCode {
          compare diffs two metrics JSON files (bus utilization, miss-service\n\
          p50/p99, refs/s, ping-pong episodes) against relative thresholds\n\
          (--threshold PCT applies one percentage to every metric) and exits\n\
-         non-zero on regression"
+         non-zero on regression;\n\
+         snapshot runs chaos workload N (0..=3, optionally under fault seed\n\
+         S) until --at simulated microseconds and saves the complete machine\n\
+         state; resume loads it, finishes the run, and with --verify asserts\n\
+         the result is bit-identical to the uninterrupted run; state-diff\n\
+         prints the first divergent field/byte of two snapshots; golden\n\
+         regenerates the committed golden-state corpus (--check byte-compares\n\
+         against DIR instead of writing, exits non-zero and state-diffs on\n\
+         mismatch)"
     );
     ExitCode::FAILURE
 }
@@ -376,6 +392,15 @@ fn run() -> Result<(), String> {
                         ),
                         Err(e) => eprintln!("timeline replay failed: {e}"),
                     }
+                    let snap_path = format!("chaos-w{w}-s{seed}.vmpsnap");
+                    match dump_chaos_snapshot(w, seed, &snap_path) {
+                        Ok(at) => eprintln!(
+                            "captured last good machine state ({} us in) -> {snap_path} \
+                             (inspect with state-diff, continue with resume)",
+                            at.as_ns() / 1000
+                        ),
+                        Err(e) => eprintln!("snapshot capture failed: {e}"),
+                    }
                 }
                 return Err(format!("{failures} chaos runs violated fault transparency"));
             }
@@ -547,11 +572,195 @@ fn run() -> Result<(), String> {
                 ))
             }
         }
+        Some("snapshot") => {
+            let workload: usize = flag(&args, "--workload")
+                .ok_or("snapshot requires --workload N (0..=3)")?
+                .parse()
+                .map_err(|e| format!("bad --workload: {e}"))?;
+            if workload >= CHAOS_WORKLOADS {
+                return Err(format!("--workload must be 0..={}", CHAOS_WORKLOADS - 1));
+            }
+            let at_us: u64 = flag(&args, "--at")
+                .unwrap_or_else(|| "500".into())
+                .parse()
+                .map_err(|e| format!("bad --at: {e}"))?;
+            let seed: Option<u64> = match flag(&args, "--seed") {
+                Some(s) => Some(s.parse().map_err(|e| format!("bad --seed: {e}"))?),
+                None => None,
+            };
+            let out = flag(&args, "--out").ok_or("snapshot requires --out FILE")?;
+            let snap = take_chaos_snapshot(workload, seed, Nanos::from_us(at_us))?;
+            snap.save(&out).map_err(|e| format!("write {out}: {e}"))?;
+            println!(
+                "snapshotted workload {workload} at {at_us} us{} -> {out} ({} bytes)",
+                seed.map(|s| format!(" (fault seed {s})")).unwrap_or_default(),
+                snap.to_bytes().len()
+            );
+            Ok(())
+        }
+        Some("resume") => {
+            let input = args.get(1).ok_or("resume requires FILE")?;
+            let snap = MachineSnapshot::load(input).map_err(|e| e.to_string())?;
+            let (workload, seed) = chaos_snapshot_meta(&snap)?;
+            let mut m = resume_chaos(&snap, workload, seed)?;
+            let report = m.run().map_err(|e| format!("resumed run: {e}"))?;
+            m.validate().map_err(|e| format!("resumed run invalid: {e}"))?;
+            println!(
+                "resumed workload {workload}{}: finished at {} us, {} refs, {} misses",
+                seed.map(|s| format!(" (fault seed {s})")).unwrap_or_default(),
+                report.elapsed.as_ns() / 1000,
+                report.total_refs(),
+                report.total_misses()
+            );
+            if args.iter().any(|a| a == "--verify") {
+                let mut reference = chaos_machine(workload, false);
+                if let Some(s) = seed {
+                    reference.install_fault_hook(FaultPlan::new(s, chaos_rates(s)));
+                }
+                let want = reference.run().map_err(|e| format!("reference run: {e}"))?;
+                if want.to_json().to_string() != report.to_json().to_string()
+                    || chaos_probes(&reference) != chaos_probes(&m)
+                {
+                    return Err("resumed run diverged from the uninterrupted run".into());
+                }
+                println!("verify: resumed run is bit-identical to the uninterrupted run");
+            }
+            Ok(())
+        }
+        Some("state-diff") => {
+            let [_, a_path, b_path] = args.as_slice() else {
+                return Err("state-diff requires two snapshot files".into());
+            };
+            let a = MachineSnapshot::load(a_path).map_err(|e| e.to_string())?;
+            let b = MachineSnapshot::load(b_path).map_err(|e| e.to_string())?;
+            match MachineSnapshot::diff(&a, &b) {
+                None => {
+                    println!("snapshots are identical");
+                    Ok(())
+                }
+                Some(divergence) => {
+                    println!("first divergence: {divergence}");
+                    Err(format!("{a_path} and {b_path} differ"))
+                }
+            }
+        }
+        Some("golden") => {
+            let dir = flag(&args, "--dir").unwrap_or_else(|| "golden".into());
+            let check = args.iter().any(|a| a == "--check");
+            std::fs::create_dir_all(&dir).map_err(|e| format!("create {dir}: {e}"))?;
+            let mut mismatches = 0u64;
+            for (workload, seed, at_us) in GOLDEN_CELLS {
+                let name = match seed {
+                    Some(s) => format!("chaos-w{workload}-s{s}.vmpsnap"),
+                    None => format!("chaos-w{workload}.vmpsnap"),
+                };
+                let path = format!("{dir}/{name}");
+                let snap = take_chaos_snapshot(workload, seed, Nanos::from_us(at_us))?;
+                let bytes = snap.to_bytes();
+                if check {
+                    let committed = MachineSnapshot::load(&path).map_err(|e| e.to_string())?;
+                    if committed.to_bytes() == bytes {
+                        println!("  {name}: ok ({} bytes)", bytes.len());
+                    } else {
+                        mismatches += 1;
+                        let divergence = MachineSnapshot::diff(&committed, &snap)
+                            .unwrap_or_else(|| "container framing differs".into());
+                        eprintln!("  {name}: MISMATCH — first divergence: {divergence}");
+                    }
+                } else {
+                    std::fs::write(&path, &bytes).map_err(|e| format!("write {path}: {e}"))?;
+                    println!("  wrote {path} ({} bytes)", bytes.len());
+                }
+            }
+            if mismatches > 0 {
+                Err(format!(
+                    "{mismatches} golden snapshots diverged — machine state drifted; \
+                     if intentional, regenerate with `vmp-trace-tool golden --dir {dir}`"
+                ))
+            } else {
+                if check {
+                    println!("golden corpus matches ({} cells)", GOLDEN_CELLS.len());
+                }
+                Ok(())
+            }
+        }
         _ => {
             usage();
             Err(String::new())
         }
     }
+}
+
+/// The committed golden-state corpus: (workload, fault seed, snapshot
+/// time in simulated microseconds). Chosen to land mid-flight — caches
+/// warm, locks contended, faults pending — so a byte-level match pins
+/// the *entire* machine state, not just a quiesced shell.
+const GOLDEN_CELLS: [(usize, Option<u64>, u64); 6] = [
+    (0, None, 500),
+    (1, None, 500),
+    (2, None, 500),
+    (3, None, 500),
+    (1, Some(7), 500),
+    (3, Some(13), 350),
+];
+
+/// The fault rates the chaos soak pairs with a seed (even → light,
+/// odd → heavy); snapshot/resume reuse it so seeds mean the same thing.
+fn chaos_rates(seed: u64) -> FaultRates {
+    if seed.is_multiple_of(2) {
+        FaultRates::light()
+    } else {
+        FaultRates::heavy()
+    }
+}
+
+/// Runs chaos workload `workload` (optionally faulted) until `at` and
+/// captures a snapshot, tagging it with the metadata `resume` needs.
+fn take_chaos_snapshot(
+    workload: usize,
+    seed: Option<u64>,
+    at: Nanos,
+) -> Result<MachineSnapshot, String> {
+    let mut m = chaos_machine(workload, false);
+    if let Some(s) = seed {
+        m.install_fault_hook(FaultPlan::new(s, chaos_rates(s)));
+    }
+    m.run_until(at).map_err(|e| format!("run to {at}: {e}"))?;
+    let mut snap = m.snapshot().map_err(|e| e.to_string())?;
+    let mut meta = json::Value::obj().set("workload", workload as u64).set("at", at.as_ns());
+    meta = match seed {
+        Some(s) => meta.set("seed", s),
+        None => meta.set("seed", json::Value::Null),
+    };
+    snap.set_meta(meta);
+    Ok(snap)
+}
+
+/// Reads the workload/seed tag [`take_chaos_snapshot`] wrote.
+fn chaos_snapshot_meta(snap: &MachineSnapshot) -> Result<(usize, Option<u64>), String> {
+    let meta = snap.meta().ok_or("snapshot carries no chaos metadata (not taken by this tool?)")?;
+    let workload = meta
+        .get("workload")
+        .and_then(json::Value::as_u64)
+        .ok_or("snapshot metadata lacks a workload tag")? as usize;
+    if workload >= CHAOS_WORKLOADS {
+        return Err(format!("snapshot names unknown workload {workload}"));
+    }
+    let seed = meta.get("seed").and_then(json::Value::as_u64);
+    Ok((workload, seed))
+}
+
+/// Resumes a chaos snapshot with fresh program/hook instances.
+fn resume_chaos(
+    snap: &MachineSnapshot,
+    workload: usize,
+    seed: Option<u64>,
+) -> Result<Machine, String> {
+    let config = chaos_config(false);
+    let page = config.cache.page_size().bytes();
+    let programs = chaos_programs(workload, page).into_iter().map(Some).collect();
+    let hook = seed.map(|s| Box::new(FaultPlan::new(s, chaos_rates(s))) as _);
+    Machine::resume(config, snap, programs, hook).map_err(|e| e.to_string())
 }
 
 /// Which program mix the observed (`timeline`/`metrics`/`top`) run
@@ -711,13 +920,42 @@ fn dump_chaos_timeline(workload: usize, seed: u64, path: &str) -> Result<u64, St
     Ok(recorded_events(obs))
 }
 
+/// Re-runs one failing chaos seed in time slices, snapshotting after
+/// each slice that still completes cleanly, and writes the last good
+/// snapshot — a minimized artifact that resumes straight into the
+/// failure window. Returns the simulated time of the saved state.
+fn dump_chaos_snapshot(workload: usize, seed: u64, path: &str) -> Result<Nanos, String> {
+    let mut m = chaos_machine(workload, false);
+    m.install_fault_hook(FaultPlan::new(seed, chaos_rates(seed)));
+    let slice = Nanos::from_ns(chaos_config(false).max_time.as_ns() / 16);
+    let mut last = m.snapshot().map_err(|e| e.to_string())?;
+    let mut last_at = Nanos::ZERO;
+    for i in 1..=16u64 {
+        let deadline = Nanos::from_ns(slice.as_ns() * i);
+        if m.run_until(deadline).is_err() || m.validate().is_err() {
+            break;
+        }
+        match m.snapshot() {
+            Ok(snap) => {
+                last = snap;
+                last_at = m.now();
+            }
+            Err(_) => break,
+        }
+    }
+    let mut meta = json::Value::obj().set("workload", workload as u64).set("at", last_at.as_ns());
+    meta = meta.set("seed", seed);
+    last.set_meta(meta);
+    last.save(path).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(last_at)
+}
+
 /// Number of distinct workloads the `chaos` subcommand soaks.
 const CHAOS_WORKLOADS: usize = 4;
 
-/// Builds one of the chaos workloads: all have schedule-independent final
-/// state, so a faulted run must reproduce the zero-fault probe words.
-/// `record` switches the event recorder on for failing-seed replays.
-fn chaos_machine(workload: usize, record: bool) -> Machine {
+/// The machine configuration every chaos workload runs under. `record`
+/// switches the event recorder on for failing-seed replays.
+fn chaos_config(record: bool) -> MachineConfig {
     let mut config = MachineConfig::small();
     config.validate_each_step = false;
     config.audit_every = Some(64);
@@ -726,42 +964,52 @@ fn chaos_machine(workload: usize, record: bool) -> Machine {
     if record {
         config.obs = ObsConfig::on();
     }
-    let page = config.cache.page_size().bytes();
-    let mut m = Machine::build(config).expect("small config is valid");
+    config
+}
+
+/// Fresh program instances for one chaos workload — used both to build
+/// the machine and to supply `Machine::resume` with rewindable copies,
+/// so the two can never drift apart.
+fn chaos_programs(workload: usize, page: u64) -> Vec<Box<dyn vmp_core::Program>> {
     match workload {
         // Disjoint page sweeps: no sharing at all.
-        0 => {
-            m.set_program(0, SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 4, 4, 3, true))
-                .unwrap();
-            m.set_program(1, SweepWorker::new(VirtAddr::new(0x8000), 2 * page / 4, 4, 3, true))
-                .unwrap();
-        }
+        0 => vec![
+            Box::new(SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 4, 4, 3, true)),
+            Box::new(SweepWorker::new(VirtAddr::new(0x8000), 2 * page / 4, 4, 3, true)),
+        ],
         // A shared counter under spin (1) and notification (2) locks.
         1 | 2 => {
             let d = if workload == 1 { LockDiscipline::Spin } else { LockDiscipline::Notify };
-            for cpu in 0..2 {
-                m.set_program(
-                    cpu,
-                    LockWorker::new(
+            (0..2)
+                .map(|_| -> Box<dyn vmp_core::Program> {
+                    Box::new(LockWorker::new(
                         d,
                         VirtAddr::new(0x1000),
                         VirtAddr::new(0x2000),
                         8,
                         Nanos::from_us(2),
                         Nanos::from_us(3),
-                    ),
-                )
-                .unwrap();
-            }
+                    ))
+                })
+                .collect()
         }
         // False sharing: interleaved words of the same pages, one writer
         // per word, maximal ownership ping-pong.
-        _ => {
-            m.set_program(0, SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 8, 8, 3, true))
-                .unwrap();
-            m.set_program(1, SweepWorker::new(VirtAddr::new(0x4004), 2 * page / 8, 8, 3, true))
-                .unwrap();
-        }
+        _ => vec![
+            Box::new(SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 8, 8, 3, true)),
+            Box::new(SweepWorker::new(VirtAddr::new(0x4004), 2 * page / 8, 8, 3, true)),
+        ],
+    }
+}
+
+/// Builds one of the chaos workloads: all have schedule-independent final
+/// state, so a faulted run must reproduce the zero-fault probe words.
+fn chaos_machine(workload: usize, record: bool) -> Machine {
+    let config = chaos_config(record);
+    let page = config.cache.page_size().bytes();
+    let mut m = Machine::build(config).expect("small config is valid");
+    for (cpu, p) in chaos_programs(workload, page).into_iter().enumerate() {
+        m.set_program_boxed(cpu, p).expect("program slot exists");
     }
     m
 }

@@ -108,6 +108,23 @@ pub trait FaultHook: Send {
         let _ = (now, tx);
         0
     }
+
+    /// Serializes the hook's mutable state (RNG position, injection
+    /// counters) for a machine checkpoint. `None` — the default — means
+    /// the hook carries no state worth saving (e.g. [`NoFaults`]); a
+    /// machine with such a hook installed can still be snapshotted and
+    /// resumes with a freshly installed hook.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`FaultHook::save_state`], returning
+    /// `false` if the bytes are not recognized (wrong hook type or a
+    /// corrupt snapshot). The default accepts nothing.
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// A hook that never injects anything — equivalent to running with no

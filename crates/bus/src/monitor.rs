@@ -271,6 +271,29 @@ impl BusMonitor {
     pub fn dropped_total(&self) -> u64 {
         self.dropped_total
     }
+
+    /// Restores the FIFO and counters verbatim from checkpointed state,
+    /// bypassing the coalescing/overflow logic of the normal queue path
+    /// (the words were already admitted once; re-filtering them would
+    /// corrupt the restored state). The action table is restored
+    /// separately through [`BusMonitor::table_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`FIFO_CAPACITY`] words are supplied.
+    pub fn restore_fifo(
+        &mut self,
+        words: Vec<InterruptWord>,
+        overflow: bool,
+        queued_total: u64,
+        dropped_total: u64,
+    ) {
+        assert!(words.len() <= FIFO_CAPACITY, "restored FIFO exceeds capacity");
+        self.fifo = words.into();
+        self.overflow = overflow;
+        self.queued_total = queued_total;
+        self.dropped_total = dropped_total;
+    }
 }
 
 #[cfg(test)]

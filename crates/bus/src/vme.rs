@@ -102,6 +102,26 @@ impl BusStats {
             self.arb_wait_total / self.reservations
         }
     }
+
+    /// The raw per-kind completion counters, indexed by the stable kind
+    /// order `[ReadShared, ReadPrivate, AssertOwnership, WriteBack,
+    /// Notify, WriteActionTable, PlainRead, PlainWrite]`.
+    pub fn counts_raw(&self) -> [u64; 8] {
+        self.counts
+    }
+
+    /// The raw per-kind abort counters, same index order as
+    /// [`BusStats::counts_raw`].
+    pub fn abort_counts_raw(&self) -> [u64; 8] {
+        self.abort_counts
+    }
+
+    /// Rebuilds the private per-kind counters from checkpointed values;
+    /// the public fields are restored by the caller directly.
+    pub fn restore_raw_counts(&mut self, counts: [u64; 8], abort_counts: [u64; 8]) {
+        self.counts = counts;
+        self.abort_counts = abort_counts;
+    }
 }
 
 impl fmt::Display for BusStats {
@@ -273,6 +293,26 @@ impl VmeBus {
             self.stats.injected_aborts += 1;
         }
         self.stats.busy.add_busy(self.abort_duration());
+    }
+
+    /// The live reservation book for checkpointing: disjoint
+    /// `(start, end)` intervals in start order, plus the pruning
+    /// watermark.
+    pub fn bookings(&self) -> (Vec<(Nanos, Nanos)>, Nanos) {
+        (self.bookings.iter().map(|(&s, &e)| (s, e)).collect(), self.watermark)
+    }
+
+    /// Restores the reservation book captured by [`VmeBus::bookings`].
+    /// Future [`VmeBus::reserve`] calls then see exactly the occupancy
+    /// the original bus had.
+    pub fn restore_bookings(&mut self, bookings: Vec<(Nanos, Nanos)>, watermark: Nanos) {
+        self.bookings = bookings.into_iter().collect();
+        self.watermark = watermark;
+    }
+
+    /// Mutable access to the statistics block, for checkpoint restore.
+    pub fn stats_mut(&mut self) -> &mut BusStats {
+        &mut self.stats
     }
 }
 

@@ -155,6 +155,46 @@ impl DataCache {
     pub fn valid_count(&self) -> usize {
         self.tags.valid_count()
     }
+
+    /// The LRU clock, for checkpointing (see [`TagArray::clock`]).
+    pub fn clock(&self) -> u64 {
+        self.tags.clock()
+    }
+
+    /// The LRU timestamp of a slot (see [`TagArray::last_use`]).
+    pub fn last_use(&self, id: SlotId) -> u64 {
+        self.tags.last_use(id)
+    }
+
+    /// Restores one slot verbatim — tag, flags, LRU timestamp and page
+    /// bytes — without bumping the LRU clock (see
+    /// [`TagArray::restore_slot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly one cache page long.
+    pub fn restore_slot(
+        &mut self,
+        id: SlotId,
+        tag: Tag,
+        flags: SlotFlags,
+        last_use: u64,
+        bytes: Vec<u8>,
+    ) {
+        assert_eq!(
+            bytes.len() as u64,
+            self.config().page_size().bytes(),
+            "restore requires exactly one cache page of data"
+        );
+        self.tags.restore_slot(id, tag, flags, last_use);
+        let i = self.idx(id);
+        self.data[i] = bytes;
+    }
+
+    /// Restores the LRU clock (see [`TagArray::restore_clock`]).
+    pub fn restore_clock(&mut self, clock: u64) {
+        self.tags.restore_clock(clock);
+    }
 }
 
 #[cfg(test)]

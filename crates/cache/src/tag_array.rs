@@ -252,6 +252,38 @@ impl TagArray {
             s.flags = SlotFlags::invalid();
         }
     }
+
+    /// The LRU clock value, for checkpointing. Together with per-slot
+    /// [`TagArray::last_use`] values this pins down future victim
+    /// selection exactly.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The LRU timestamp of a slot (meaningful only while the slot is
+    /// valid; victim selection never consults invalid slots).
+    pub fn last_use(&self, id: SlotId) -> u64 {
+        self.slots[self.idx(id)].last_use
+    }
+
+    /// Writes a slot's tag, flags and LRU timestamp verbatim, without
+    /// bumping the clock the way [`TagArray::install`] does — checkpoint
+    /// restore must reproduce the saved LRU ordering, not invent a new
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the tag would not map to `id.set`.
+    pub fn restore_slot(&mut self, id: SlotId, tag: Tag, flags: SlotFlags, last_use: u64) {
+        debug_assert_eq!(self.config.set_of_vpn(tag.vpn), id.set, "tag must map to its set");
+        let i = self.idx(id);
+        self.slots[i] = Slot { tag: Some(tag), flags, last_use };
+    }
+
+    /// Restores the LRU clock captured by [`TagArray::clock`].
+    pub fn restore_clock(&mut self, clock: u64) {
+        self.clock = clock;
+    }
 }
 
 #[cfg(test)]

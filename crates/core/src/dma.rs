@@ -104,6 +104,22 @@ impl DmaEngine {
     pub(crate) fn buffer(&self) -> &[u8] {
         &self.buffer
     }
+
+    /// Writes the engine's mid-transfer progress verbatim (checkpoint
+    /// restore): phase, serialization edge, capture buffer and event
+    /// sequence number.
+    pub(crate) fn restore_progress(
+        &mut self,
+        phase: DmaPhase,
+        blocked_on: Option<usize>,
+        buffer: Vec<u8>,
+        seq: u64,
+    ) {
+        self.phase = phase;
+        self.blocked_on = blocked_on;
+        self.buffer = buffer;
+        self.seq = seq;
+    }
 }
 
 /// A description of a DMA device for documentation and examples; the

@@ -52,6 +52,25 @@ pub enum MachineError {
         /// The validator's description of the violation.
         detail: String,
     },
+    /// The machine (or one of its programs) cannot be captured in a
+    /// snapshot right now — e.g. a watchdog violation is latched, or a
+    /// running program does not implement state capture.
+    SnapshotUnsupported {
+        /// What prevented the capture.
+        detail: String,
+    },
+    /// A snapshot's bytes could not be decoded (bad magic, truncated
+    /// blob, malformed header).
+    SnapshotCorrupt {
+        /// What failed to decode.
+        detail: String,
+    },
+    /// A snapshot does not match the machine it is being restored into
+    /// (different geometry, missing program/hook, version drift).
+    SnapshotMismatch {
+        /// The mismatching field.
+        detail: String,
+    },
 }
 
 /// A specific liveness failure the watchdog detected.
@@ -139,6 +158,15 @@ impl fmt::Display for MachineError {
             MachineError::Watchdog(v) => write!(f, "liveness watchdog: {v}"),
             MachineError::AuditFailed { at, detail } => {
                 write!(f, "invariant audit failed at {at}: {detail}")
+            }
+            MachineError::SnapshotUnsupported { detail } => {
+                write!(f, "machine state cannot be snapshotted: {detail}")
+            }
+            MachineError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot bytes are corrupt: {detail}")
+            }
+            MachineError::SnapshotMismatch { detail } => {
+                write!(f, "snapshot does not match this machine: {detail}")
             }
         }
     }

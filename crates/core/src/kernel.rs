@@ -184,6 +184,23 @@ impl Kernel {
     pub fn free_frames(&self) -> u64 {
         self.allocator.free_frames()
     }
+
+    /// Every ASID with a live address space, ascending — the snapshot
+    /// layer serializes each space's mappings under this order.
+    pub fn asids(&self) -> Vec<Asid> {
+        self.spaces.keys().copied().collect()
+    }
+
+    /// The frame allocator's free list, ascending, for checkpointing.
+    pub fn free_list(&self) -> Vec<u64> {
+        self.allocator.free_list()
+    }
+
+    /// Replaces the allocator's free list with a checkpointed one so the
+    /// lowest-first allocation sequence continues identically.
+    pub fn restore_free_list(&mut self, free: Vec<u64>) {
+        self.allocator.restore_free_list(free);
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ mod kernel;
 mod machine;
 mod phys_index;
 mod program;
+mod snapshot;
 mod stats;
 mod validate;
 pub mod workloads;
@@ -62,5 +63,6 @@ pub use kernel::Kernel;
 pub use machine::Machine;
 pub use phys_index::PhysIndex;
 pub use program::{sweep_refs, Op, OpResult, Program, ScriptProgram, TraceProgram};
+pub use snapshot::MachineSnapshot;
 pub use stats::{bus_stats_json, FaultStats, MachineReport, ProcessorStats};
 pub use vmp_obs::{MachineObs, ObsConfig};

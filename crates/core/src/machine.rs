@@ -26,7 +26,7 @@ use crate::{
 const MAX_PT_DEPTH: u8 = 1;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CpuState {
+pub(crate) enum CpuState {
     /// No program loaded or program finished.
     Halted,
     /// Executing; a wake event is scheduled.
@@ -49,7 +49,7 @@ enum CpuState {
 /// next reacquisition; re-running the full 13.6 µs handler would lose
 /// that race forever against a spinning competitor.
 #[derive(Debug, Clone, Copy)]
-enum PendingWork {
+pub(crate) enum PendingWork {
     /// Re-execute the whole operation (nested-translation aborts).
     FullOp(Op),
     /// Re-issue the block-fetch transaction of a miss whose victim has
@@ -60,22 +60,22 @@ enum PendingWork {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct FetchCont {
-    op: Op,
-    asid: Asid,
-    va: VirtAddr,
-    want_private: bool,
-    cause: MissCause,
-    frame: FrameNum,
-    slot: SlotId,
+pub(crate) struct FetchCont {
+    pub(crate) op: Op,
+    pub(crate) asid: Asid,
+    pub(crate) va: VirtAddr,
+    pub(crate) want_private: bool,
+    pub(crate) cause: MissCause,
+    pub(crate) frame: FrameNum,
+    pub(crate) slot: SlotId,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct UpgradeCont {
-    op: Op,
-    va: VirtAddr,
-    slot: SlotId,
-    frame: FrameNum,
+pub(crate) struct UpgradeCont {
+    pub(crate) op: Op,
+    pub(crate) va: VirtAddr,
+    pub(crate) slot: SlotId,
+    pub(crate) frame: FrameNum,
 }
 
 pub(crate) struct Cpu {
@@ -87,41 +87,41 @@ pub(crate) struct Cpu {
     #[allow(dead_code)]
     pub(crate) local: LocalMemory,
     pub(crate) phys: PhysIndex,
-    program: Option<Box<dyn Program>>,
-    state: CpuState,
-    pending: Option<PendingWork>,
-    last_result: OpResult,
-    wake_seq: u64,
-    wake_pending: bool,
+    pub(crate) program: Option<Box<dyn Program>>,
+    pub(crate) state: CpuState,
+    pub(crate) pending: Option<PendingWork>,
+    pub(crate) last_result: OpResult,
+    pub(crate) wake_seq: u64,
+    pub(crate) wake_pending: bool,
     /// Frames watched for notification → the virtual address the program
     /// used, for delivering [`OpResult::Notified`].
-    watches: BTreeMap<FrameNum, VirtAddr>,
-    pending_notify: Option<VirtAddr>,
+    pub(crate) watches: BTreeMap<FrameNum, VirtAddr>,
+    pub(crate) pending_notify: Option<VirtAddr>,
     /// Deadline for a pending [`Op::WaitNotify`] park.
-    park_deadline: Option<Nanos>,
+    pub(crate) park_deadline: Option<Nanos>,
     /// Consecutive aborted attempts; lengthens the retry backoff so
     /// symmetric contenders cannot phase-lock.
-    retry_streak: u32,
+    pub(crate) retry_streak: u32,
     /// Pages acquired since the last completed reference — thrashing
     /// signal for the liveness watchdog (acquisitions should yield work).
-    zero_yield_acquires: u64,
+    pub(crate) zero_yield_acquires: u64,
     /// Armed while this board's monitor holds unserviced interrupt words
     /// or an unserviced overflow flag; the watchdog flags starvation.
-    attention: AttentionClock,
+    pub(crate) attention: AttentionClock,
     /// When the current operation began (first attempt), for latency
     /// instrumentation across retries.
-    op_start: Nanos,
+    pub(crate) op_start: Nanos,
     /// The current operation took at least one miss/upgrade.
-    op_stalled: bool,
+    pub(crate) op_stalled: bool,
     /// Distribution of complete memory-operation latencies that involved
     /// miss handling — the paper's "highly instrumented" prototype in
     /// simulator form (§5).
-    miss_latency: Histogram,
+    pub(crate) miss_latency: Histogram,
     pub(crate) stats: ProcessorStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+pub(crate) enum Event {
     Wake { cpu: usize, seq: u64 },
     Dma { dma: usize, seq: u64 },
 }
@@ -174,23 +174,23 @@ struct ResolvedWatchdog {
 /// See the [crate documentation](crate) for an overview and example.
 pub struct Machine {
     pub(crate) config: MachineConfig,
-    now: Nanos,
-    queue: EventQueue<Event>,
+    pub(crate) now: Nanos,
+    pub(crate) queue: EventQueue<Event>,
     pub(crate) bus: VmeBus,
     pub(crate) memory: MainMemory,
     pub(crate) kernel: Kernel,
     pub(crate) cpus: Vec<Cpu>,
-    dmas: Vec<DmaEngine>,
+    pub(crate) dmas: Vec<DmaEngine>,
     /// Frames protected for DMA → host processor index (validator input).
     pub(crate) dma_protected: BTreeMap<FrameNum, usize>,
     /// Backing store for reclaimed pages: the page-out daemon (§3.4)
     /// saves contents here and the page-fault path restores them.
-    swap: BTreeMap<(Asid, VirtPageNum), Vec<u8>>,
+    pub(crate) swap: BTreeMap<(Asid, VirtPageNum), Vec<u8>>,
     /// Fault injector consulted at the bus/monitor/memory boundaries;
     /// [`NoFaults`] (the default) keeps every call a no-op.
-    fault_hook: Box<dyn FaultHook>,
+    pub(crate) fault_hook: Box<dyn FaultHook>,
     /// Machine-side accounting of the faults absorbed so far.
-    fault_stats: FaultStats,
+    pub(crate) fault_stats: FaultStats,
     /// Event recorder, allocated only when `config.obs.enabled`: the
     /// disabled path is a single branch per instrumentation site, and
     /// recording only ever reads simulator state, so enabling it cannot
@@ -200,9 +200,9 @@ pub struct Machine {
     watchdog: Option<ResolvedWatchdog>,
     /// Violation detected inside a kernel service loop (which cannot
     /// return an error); surfaced by the event loop.
-    stuck: Option<WatchdogViolation>,
+    pub(crate) stuck: Option<WatchdogViolation>,
     /// Events delivered so far, for the periodic `audit_every` check.
-    events_delivered: u64,
+    pub(crate) events_delivered: u64,
 }
 
 impl std::fmt::Debug for Machine {
@@ -345,8 +345,23 @@ impl Machine {
         cpu: usize,
         program: P,
     ) -> Result<(), MachineError> {
+        self.set_program_boxed(cpu, Box::new(program))
+    }
+
+    /// Loads an already-boxed program onto a processor — the dynamic
+    /// counterpart of [`Machine::set_program`], for callers that build
+    /// program sets generically (snapshot tooling, sweep harnesses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoSuchProcessor`] for a bad index.
+    pub fn set_program_boxed(
+        &mut self,
+        cpu: usize,
+        program: Box<dyn Program>,
+    ) -> Result<(), MachineError> {
         self.check_cpu(cpu)?;
-        self.cpus[cpu].program = Some(Box::new(program));
+        self.cpus[cpu].program = Some(program);
         self.cpus[cpu].state = CpuState::Ready;
         self.cpus[cpu].pending = None;
         self.cpus[cpu].last_result = OpResult::None;

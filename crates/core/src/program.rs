@@ -3,8 +3,11 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use vmp_obs::json::Value;
 use vmp_trace::MemRef;
 use vmp_types::{AccessKind, Asid, Nanos, PhysAddr, VirtAddr};
+
+use crate::snapshot::{op_from_value, op_result_from_value, op_result_to_value, op_to_value};
 
 /// One operation a program asks its processor to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +91,25 @@ pub trait Program {
     /// Called when a notification arrives while the program is *not*
     /// parked in [`Op::WaitNotify`].
     fn on_notify(&mut self, _addr: VirtAddr) {}
+
+    /// Captures the program's execution state for a machine snapshot.
+    ///
+    /// Returning `None` (the default) marks the program as
+    /// non-checkpointable; [`crate::Machine::snapshot`] refuses to
+    /// capture a machine whose non-halted processors run such programs.
+    fn save_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores execution state captured by [`Program::save_state`] into
+    /// a freshly constructed instance of the same program.
+    ///
+    /// Returns `false` (the default) when the state is unrecognized or
+    /// the fresh instance was configured differently than the captured
+    /// one; [`crate::Machine::resume`] turns that into an error.
+    fn restore_state(&mut self, _state: &Value) -> bool {
+        false
+    }
 }
 
 /// A program from an explicit operation list.
@@ -129,6 +151,41 @@ impl Program for ScriptProgram {
             self.observed.push(last);
         }
         self.ops.pop_front().unwrap_or(Op::Halt)
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(
+            Value::obj()
+                .set("type", "script")
+                .set("ops", Value::Arr(self.ops.iter().map(op_to_value).collect()))
+                .set(
+                    "observed",
+                    Value::Arr(self.observed.iter().map(op_result_to_value).collect()),
+                ),
+        )
+    }
+
+    fn restore_state(&mut self, state: &Value) -> bool {
+        if state.get("type").and_then(Value::as_str) != Some("script") {
+            return false;
+        }
+        let (Some(ops), Some(observed)) = (
+            state.get("ops").and_then(Value::as_arr),
+            state.get("observed").and_then(Value::as_arr),
+        ) else {
+            return false;
+        };
+        let Some(ops) = ops.iter().map(op_from_value).collect::<Option<VecDeque<Op>>>() else {
+            return false;
+        };
+        let Some(observed) =
+            observed.iter().map(op_result_from_value).collect::<Option<Vec<OpResult>>>()
+        else {
+            return false;
+        };
+        self.ops = ops;
+        self.observed = observed;
+        true
     }
 }
 
@@ -208,6 +265,49 @@ impl Program for TraceProgram {
             AccessKind::Write => Op::Write(r.addr, 0xdead_0000 | (self.emitted as u32 & 0xffff)),
             AccessKind::Read | AccessKind::IFetch => Op::Read(r.addr),
         }
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        // The reference stream itself is not serialized: the trace is an
+        // input artifact the resuming caller re-supplies, and the cursor
+        // below fast-forwards a fresh iterator to the captured position.
+        Some(
+            Value::obj()
+                .set("type", "trace")
+                .set("emitted", self.emitted)
+                .set("thinking", self.thinking)
+                .set("has_pending", self.pending_ref.is_some()),
+        )
+    }
+
+    fn restore_state(&mut self, state: &Value) -> bool {
+        if state.get("type").and_then(Value::as_str) != Some("trace") {
+            return false;
+        }
+        let (Some(emitted), Some(thinking), Some(has_pending)) = (
+            state.get("emitted").and_then(Value::as_u64),
+            state.get("thinking").and_then(Value::as_bool),
+            state.get("has_pending").and_then(Value::as_bool),
+        ) else {
+            return false;
+        };
+        if self.emitted != 0 || self.pending_ref.is_some() {
+            return false; // must restore into a fresh instance
+        }
+        for _ in 0..emitted {
+            if self.refs.next().is_none() {
+                return false; // supplied trace shorter than the captured one
+            }
+        }
+        if has_pending {
+            self.pending_ref = self.refs.next();
+            if self.pending_ref.is_none() {
+                return false;
+            }
+        }
+        self.emitted = emitted;
+        self.thinking = thinking;
+        true
     }
 }
 

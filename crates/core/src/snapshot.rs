@@ -1,0 +1,1320 @@
+//! Versioned machine snapshots: capture the complete simulator state
+//! between events and resume it bit-identically.
+//!
+//! A [`MachineSnapshot`] records everything that influences the
+//! continuation of a run — cache slots and LRU clocks, page tables and
+//! the frame free list, bus-monitor action tables and interrupt FIFOs,
+//! the live bus reservation book, the event queue with its FIFO
+//! tie-breakers, per-processor execution state (including mid-operation
+//! retry continuations), DMA progress, swap contents, fault-injector RNG
+//! streams, and every statistics counter. Observability rings are *not*
+//! captured: they are pure outputs that never feed back into execution.
+//!
+//! The container is a small binary envelope: an 8-byte magic
+//! (`VMPSNAP\x01`), a length-prefixed JSON header describing the state
+//! tree, and a raw byte blob holding bulk data (memory frames, cache
+//! pages, swap pages, DMA buffers). The header references blob ranges
+//! with `{"$blob": offset, "len": length}` objects, which also lets
+//! [`MachineSnapshot::diff`] compare two snapshots structurally and
+//! report the first divergent field or byte.
+//!
+//! Programs and fault hooks hold trait objects the machine cannot
+//! construct on its own, so [`Machine::resume`] takes caller-supplied
+//! fresh instances and rewinds them with [`Program::restore_state`] /
+//! [`vmp_bus::FaultHook::restore_state`].
+
+use std::collections::BTreeMap;
+
+use vmp_bus::{ActionCode, BusTxKind, FaultHook, InterruptWord};
+use vmp_cache::{SlotFlags, SlotId, Tag};
+use vmp_obs::json::{parse, Value};
+use vmp_obs::MissCause;
+use vmp_sim::{AttentionClock, BusyTracker, EventQueue, Histogram};
+use vmp_types::{Asid, FrameNum, Nanos, PhysAddr, ProcessorId, VirtAddr, VirtPageNum};
+use vmp_vm::Pte;
+
+use crate::dma::{DmaDirection, DmaEngine, DmaPhase, DmaRequest};
+use crate::machine::{CpuState, Event, FetchCont, PendingWork, UpgradeCont};
+use crate::{Machine, MachineConfig, MachineError, Op, OpResult, Program};
+
+/// Container magic: "VMPSNAP" plus a one-byte format version.
+const MAGIC: &[u8; 8] = b"VMPSNAP\x01";
+
+/// Header format version, checked on resume.
+const VERSION: u64 = 1;
+
+/// A complete, versioned capture of a [`Machine`]'s state.
+///
+/// Produced by [`Machine::snapshot`], consumed by [`Machine::resume`].
+/// Serializes to a stable byte string with [`MachineSnapshot::to_bytes`]
+/// — the same machine state always produces the same bytes, so snapshots
+/// can be committed as golden regression artifacts and byte-compared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    header: Value,
+    blob: Vec<u8>,
+}
+
+/// Accumulates bulk byte ranges and hands out `{"$blob", "len"}` refs.
+struct BlobWriter {
+    buf: Vec<u8>,
+}
+
+impl BlobWriter {
+    fn new() -> Self {
+        BlobWriter { buf: Vec::new() }
+    }
+
+    fn push(&mut self, bytes: &[u8]) -> Value {
+        let off = self.buf.len() as u64;
+        self.buf.extend_from_slice(bytes);
+        Value::obj().set("$blob", off).set("len", bytes.len() as u64)
+    }
+}
+
+/// Resolves a `{"$blob", "len"}` ref against the blob.
+fn blob_slice<'a>(blob: &'a [u8], v: &Value) -> Result<&'a [u8], MachineError> {
+    let (Some(off), Some(len)) =
+        (v.get("$blob").and_then(Value::as_u64), v.get("len").and_then(Value::as_u64))
+    else {
+        return Err(corrupt("expected a blob reference"));
+    };
+    let (off, len) = (off as usize, len as usize);
+    blob.get(off..off + len).ok_or_else(|| corrupt("blob reference out of range"))
+}
+
+fn corrupt(detail: impl Into<String>) -> MachineError {
+    MachineError::SnapshotCorrupt { detail: detail.into() }
+}
+
+fn mismatch(detail: impl Into<String>) -> MachineError {
+    MachineError::SnapshotMismatch { detail: detail.into() }
+}
+
+fn h_u64(v: &Value, key: &str) -> Result<u64, MachineError> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| corrupt(format!("bad field `{key}`")))
+}
+
+fn h_ns(v: &Value, key: &str) -> Result<Nanos, MachineError> {
+    h_u64(v, key).map(Nanos::from_ns)
+}
+
+fn h_bool(v: &Value, key: &str) -> Result<bool, MachineError> {
+    v.get(key).and_then(Value::as_bool).ok_or_else(|| corrupt(format!("bad field `{key}`")))
+}
+
+fn h_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, MachineError> {
+    v.get(key).and_then(Value::as_str).ok_or_else(|| corrupt(format!("bad field `{key}`")))
+}
+
+fn h_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], MachineError> {
+    v.get(key).and_then(Value::as_arr).ok_or_else(|| corrupt(format!("bad field `{key}`")))
+}
+
+// ----------------------------------------------------------------------
+// Scalar codecs shared with program/workload state (pub(crate))
+// ----------------------------------------------------------------------
+
+pub(crate) fn op_to_value(op: &Op) -> Value {
+    match *op {
+        Op::Compute(t) => Value::obj().set("k", "compute").set("t", t.as_ns()),
+        Op::Read(a) => Value::obj().set("k", "read").set("a", a.raw()),
+        Op::Write(a, v) => Value::obj().set("k", "write").set("a", a.raw()).set("v", v),
+        Op::Tas(a) => Value::obj().set("k", "tas").set("a", a.raw()),
+        Op::Notify(a) => Value::obj().set("k", "notify").set("a", a.raw()),
+        Op::WatchNotify(a) => Value::obj().set("k", "watch").set("a", a.raw()),
+        Op::WaitNotify => Value::obj().set("k", "wait"),
+        Op::UncachedRead(a) => Value::obj().set("k", "uread").set("a", a.raw()),
+        Op::UncachedWrite(a, v) => Value::obj().set("k", "uwrite").set("a", a.raw()).set("v", v),
+        Op::UncachedTas(a) => Value::obj().set("k", "utas").set("a", a.raw()),
+        Op::Halt => Value::obj().set("k", "halt"),
+    }
+}
+
+pub(crate) fn op_from_value(v: &Value) -> Option<Op> {
+    let a = || v.get("a").and_then(Value::as_u64);
+    let word = || v.get("v").and_then(Value::as_u64).and_then(|x| u32::try_from(x).ok());
+    Some(match v.get("k").and_then(Value::as_str)? {
+        "compute" => Op::Compute(Nanos::from_ns(v.get("t").and_then(Value::as_u64)?)),
+        "read" => Op::Read(VirtAddr::new(a()?)),
+        "write" => Op::Write(VirtAddr::new(a()?), word()?),
+        "tas" => Op::Tas(VirtAddr::new(a()?)),
+        "notify" => Op::Notify(VirtAddr::new(a()?)),
+        "watch" => Op::WatchNotify(VirtAddr::new(a()?)),
+        "wait" => Op::WaitNotify,
+        "uread" => Op::UncachedRead(PhysAddr::new(a()?)),
+        "uwrite" => Op::UncachedWrite(PhysAddr::new(a()?), word()?),
+        "utas" => Op::UncachedTas(PhysAddr::new(a()?)),
+        "halt" => Op::Halt,
+        _ => return None,
+    })
+}
+
+pub(crate) fn op_result_to_value(r: &OpResult) -> Value {
+    match *r {
+        OpResult::None => Value::obj().set("k", "none"),
+        OpResult::Read(v) => Value::obj().set("k", "read").set("v", v),
+        OpResult::Tas(v) => Value::obj().set("k", "tas").set("v", v),
+        OpResult::Notified(a) => Value::obj().set("k", "notified").set("a", a.raw()),
+    }
+}
+
+pub(crate) fn op_result_from_value(v: &Value) -> Option<OpResult> {
+    let word = || v.get("v").and_then(Value::as_u64).and_then(|x| u32::try_from(x).ok());
+    Some(match v.get("k").and_then(Value::as_str)? {
+        "none" => OpResult::None,
+        "read" => OpResult::Read(word()?),
+        "tas" => OpResult::Tas(word()?),
+        "notified" => OpResult::Notified(VirtAddr::new(v.get("a").and_then(Value::as_u64)?)),
+        _ => return None,
+    })
+}
+
+fn flags_to_bits(f: SlotFlags) -> u64 {
+    u64::from(f.valid)
+        | u64::from(f.modified) << 1
+        | u64::from(f.exclusive) << 2
+        | u64::from(f.supervisor_write) << 3
+        | u64::from(f.user_read) << 4
+        | u64::from(f.user_write) << 5
+}
+
+fn flags_from_bits(b: u64) -> SlotFlags {
+    SlotFlags {
+        valid: b & 1 != 0,
+        modified: b & 2 != 0,
+        exclusive: b & 4 != 0,
+        supervisor_write: b & 8 != 0,
+        user_read: b & 16 != 0,
+        user_write: b & 32 != 0,
+    }
+}
+
+/// Stable index of a bus-transaction kind (the same order
+/// `BusStats::counts_raw` uses).
+fn kind_to_idx(k: BusTxKind) -> u64 {
+    match k {
+        BusTxKind::ReadShared => 0,
+        BusTxKind::ReadPrivate => 1,
+        BusTxKind::AssertOwnership => 2,
+        BusTxKind::WriteBack => 3,
+        BusTxKind::Notify => 4,
+        BusTxKind::WriteActionTable => 5,
+        BusTxKind::PlainRead => 6,
+        BusTxKind::PlainWrite => 7,
+    }
+}
+
+fn kind_from_idx(i: u64) -> Option<BusTxKind> {
+    Some(match i {
+        0 => BusTxKind::ReadShared,
+        1 => BusTxKind::ReadPrivate,
+        2 => BusTxKind::AssertOwnership,
+        3 => BusTxKind::WriteBack,
+        4 => BusTxKind::Notify,
+        5 => BusTxKind::WriteActionTable,
+        6 => BusTxKind::PlainRead,
+        7 => BusTxKind::PlainWrite,
+        _ => return None,
+    })
+}
+
+fn cause_to_str(c: MissCause) -> &'static str {
+    match c {
+        MissCause::Read => "read",
+        MissCause::Write => "write",
+        MissCause::Upgrade => "upgrade",
+        MissCause::Pte => "pte",
+        MissCause::Kernel => "kernel",
+    }
+}
+
+fn cause_from_str(s: &str) -> Option<MissCause> {
+    Some(match s {
+        "read" => MissCause::Read,
+        "write" => MissCause::Write,
+        "upgrade" => MissCause::Upgrade,
+        "pte" => MissCause::Pte,
+        "kernel" => MissCause::Kernel,
+        _ => return None,
+    })
+}
+
+fn slot_to_value(s: SlotId) -> Value {
+    Value::obj().set("set", s.set as u64).set("way", s.way as u64)
+}
+
+fn slot_from_value(v: &Value) -> Result<SlotId, MachineError> {
+    Ok(SlotId { set: h_u64(v, "set")? as usize, way: h_u64(v, "way")? as usize })
+}
+
+fn histogram_to_value(h: &Histogram) -> Value {
+    let (width, counts, overflow, total, sum, max) = h.state();
+    Value::obj()
+        .set("width", width.as_ns())
+        .set("counts", Value::Arr(counts.into_iter().map(Value::from).collect()))
+        .set("overflow", overflow)
+        .set("total", total)
+        .set("sum", sum.as_ns())
+        .set("max", max.as_ns())
+}
+
+fn histogram_from_value(v: &Value) -> Result<Histogram, MachineError> {
+    let counts = h_arr(v, "counts")?
+        .iter()
+        .map(|c| c.as_u64().ok_or_else(|| corrupt("bad histogram count")))
+        .collect::<Result<Vec<u64>, _>>()?;
+    Ok(Histogram::restore(
+        h_ns(v, "width")?,
+        counts,
+        h_u64(v, "overflow")?,
+        h_u64(v, "total")?,
+        h_ns(v, "sum")?,
+        h_ns(v, "max")?,
+    ))
+}
+
+fn event_to_value(t: Nanos, qseq: u64, e: &Event) -> Value {
+    let (kind, idx, seq) = match *e {
+        Event::Wake { cpu, seq } => ("wake", cpu as u64, seq),
+        Event::Dma { dma, seq } => ("dma", dma as u64, seq),
+    };
+    Value::obj()
+        .set("t", t.as_ns())
+        .set("qseq", qseq)
+        .set("kind", kind)
+        .set("idx", idx)
+        .set("seq", seq)
+}
+
+fn event_from_value(v: &Value) -> Result<(Nanos, u64, Event), MachineError> {
+    let idx = h_u64(v, "idx")? as usize;
+    let seq = h_u64(v, "seq")?;
+    let event = match h_str(v, "kind")? {
+        "wake" => Event::Wake { cpu: idx, seq },
+        "dma" => Event::Dma { dma: idx, seq },
+        other => return Err(corrupt(format!("unknown event kind `{other}`"))),
+    };
+    Ok((h_ns(v, "t")?, h_u64(v, "qseq")?, event))
+}
+
+fn cpu_state_to_value(s: CpuState) -> Value {
+    match s {
+        CpuState::Halted => Value::obj().set("k", "halted"),
+        CpuState::Ready => Value::obj().set("k", "ready"),
+        CpuState::Parked => Value::obj().set("k", "parked"),
+        CpuState::Computing { until } => {
+            Value::obj().set("k", "computing").set("until", until.as_ns())
+        }
+    }
+}
+
+fn cpu_state_from_value(v: &Value) -> Result<CpuState, MachineError> {
+    Ok(match h_str(v, "k")? {
+        "halted" => CpuState::Halted,
+        "ready" => CpuState::Ready,
+        "parked" => CpuState::Parked,
+        "computing" => CpuState::Computing { until: h_ns(v, "until")? },
+        other => return Err(corrupt(format!("unknown cpu state `{other}`"))),
+    })
+}
+
+fn pending_to_value(p: &PendingWork) -> Value {
+    match p {
+        PendingWork::FullOp(op) => Value::obj().set("k", "full_op").set("op", op_to_value(op)),
+        PendingWork::FetchTx(c) => Value::obj()
+            .set("k", "fetch")
+            .set("op", op_to_value(&c.op))
+            .set("asid", u64::from(c.asid.raw()))
+            .set("va", c.va.raw())
+            .set("want_private", c.want_private)
+            .set("cause", cause_to_str(c.cause))
+            .set("frame", c.frame.raw())
+            .set("slot", slot_to_value(c.slot)),
+        PendingWork::UpgradeTx(c) => Value::obj()
+            .set("k", "upgrade")
+            .set("op", op_to_value(&c.op))
+            .set("va", c.va.raw())
+            .set("slot", slot_to_value(c.slot))
+            .set("frame", c.frame.raw()),
+    }
+}
+
+fn pending_from_value(v: &Value) -> Result<PendingWork, MachineError> {
+    let op = |key: &str| -> Result<Op, MachineError> {
+        v.get(key).and_then(op_from_value).ok_or_else(|| corrupt("bad pending-work operation"))
+    };
+    Ok(match h_str(v, "k")? {
+        "full_op" => PendingWork::FullOp(op("op")?),
+        "fetch" => PendingWork::FetchTx(FetchCont {
+            op: op("op")?,
+            asid: Asid::new(h_u64(v, "asid")? as u8),
+            va: VirtAddr::new(h_u64(v, "va")?),
+            want_private: h_bool(v, "want_private")?,
+            cause: cause_from_str(h_str(v, "cause")?)
+                .ok_or_else(|| corrupt("unknown miss cause"))?,
+            frame: FrameNum::new(h_u64(v, "frame")?),
+            slot: slot_from_value(v.get("slot").ok_or_else(|| corrupt("missing slot"))?)?,
+        }),
+        "upgrade" => PendingWork::UpgradeTx(UpgradeCont {
+            op: op("op")?,
+            va: VirtAddr::new(h_u64(v, "va")?),
+            slot: slot_from_value(v.get("slot").ok_or_else(|| corrupt("missing slot"))?)?,
+            frame: FrameNum::new(h_u64(v, "frame")?),
+        }),
+        other => return Err(corrupt(format!("unknown pending work `{other}`"))),
+    })
+}
+
+fn u64s(values: impl IntoIterator<Item = u64>) -> Value {
+    Value::Arr(values.into_iter().map(Value::from).collect())
+}
+
+fn u64_list(v: &Value, key: &str) -> Result<Vec<u64>, MachineError> {
+    h_arr(v, key)?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| corrupt(format!("bad entry in `{key}`"))))
+        .collect()
+}
+
+fn u64_array8(v: &Value, key: &str) -> Result<[u64; 8], MachineError> {
+    let list = u64_list(v, key)?;
+    <[u64; 8]>::try_from(list).map_err(|_| corrupt(format!("`{key}` must have 8 entries")))
+}
+
+// ----------------------------------------------------------------------
+// Snapshot container
+// ----------------------------------------------------------------------
+
+impl MachineSnapshot {
+    /// The snapshot's caller-attached metadata, if any (see
+    /// [`MachineSnapshot::set_meta`]).
+    pub fn meta(&self) -> Option<&Value> {
+        self.header.get("meta")
+    }
+
+    /// Attaches (or replaces) caller metadata — workload tags, seeds,
+    /// sweep-cell labels — carried inside the snapshot header.
+    pub fn set_meta(&mut self, meta: Value) {
+        if let Value::Obj(pairs) = &mut self.header {
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == "meta") {
+                slot.1 = meta;
+            } else {
+                pairs.push(("meta".to_string(), meta));
+            }
+        }
+    }
+
+    /// The header tree (for inspection and tooling).
+    pub fn header(&self) -> &Value {
+        &self.header
+    }
+
+    /// Serializes to the stable binary container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let header = self.header.to_string().into_bytes();
+        let mut out = Vec::with_capacity(MAGIC.len() + 16 + header.len() + self.blob.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(header.len() as u64).to_le_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&(self.blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.blob);
+        out
+    }
+
+    /// Decodes a container produced by [`MachineSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::SnapshotCorrupt`] on bad magic, truncation
+    /// or malformed header JSON.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MachineError> {
+        let rest = bytes
+            .strip_prefix(MAGIC.as_slice())
+            .ok_or_else(|| corrupt("bad magic (not a VMP snapshot, or wrong format version)"))?;
+        let take_len = |b: &[u8]| -> Result<(usize, usize), MachineError> {
+            let raw: [u8; 8] =
+                b.get(..8).and_then(|s| s.try_into().ok()).ok_or_else(|| corrupt("truncated"))?;
+            Ok((u64::from_le_bytes(raw) as usize, 8))
+        };
+        let (header_len, off) = take_len(rest)?;
+        let header_bytes =
+            rest.get(off..off + header_len).ok_or_else(|| corrupt("truncated header"))?;
+        let header_str =
+            std::str::from_utf8(header_bytes).map_err(|_| corrupt("header is not UTF-8"))?;
+        let header = parse(header_str).map_err(|e| corrupt(format!("header JSON: {e}")))?;
+        let rest = &rest[off + header_len..];
+        let (blob_len, off) = take_len(rest)?;
+        let blob = rest.get(off..off + blob_len).ok_or_else(|| corrupt("truncated blob"))?;
+        if rest.len() != off + blob_len {
+            return Err(corrupt("trailing bytes after blob"));
+        }
+        Ok(MachineSnapshot { header, blob: blob.to_vec() })
+    }
+
+    /// Writes the container to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a container from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::SnapshotCorrupt`] for unreadable or
+    /// malformed files.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, MachineError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| corrupt(format!("read {}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Structurally compares two snapshots and describes the *first*
+    /// divergence — the header path that differs (e.g.
+    /// `cpus[1].cache.slots[3].data: byte 17 differs (0x00 vs 0x2a)`) —
+    /// or `None` when they are identical.
+    pub fn diff(a: &MachineSnapshot, b: &MachineSnapshot) -> Option<String> {
+        diff_value("$", &a.header, a, &b.header, b)
+    }
+}
+
+fn is_blob_ref(v: &Value) -> bool {
+    matches!(v, Value::Obj(pairs) if pairs.iter().any(|(k, _)| k == "$blob"))
+}
+
+fn diff_value(
+    path: &str,
+    a: &Value,
+    sa: &MachineSnapshot,
+    b: &Value,
+    sb: &MachineSnapshot,
+) -> Option<String> {
+    if is_blob_ref(a) && is_blob_ref(b) {
+        let da = blob_slice(&sa.blob, a).ok()?;
+        let db = blob_slice(&sb.blob, b).ok()?;
+        if da.len() != db.len() {
+            return Some(format!("{path}: blob length {} vs {}", da.len(), db.len()));
+        }
+        return da
+            .iter()
+            .zip(db)
+            .position(|(x, y)| x != y)
+            .map(|i| format!("{path}: byte {i} differs (0x{:02x} vs 0x{:02x})", da[i], db[i]));
+    }
+    match (a, b) {
+        (Value::Obj(pa), Value::Obj(pb)) => {
+            if pa.len() != pb.len() {
+                return Some(format!("{path}: {} keys vs {}", pa.len(), pb.len()));
+            }
+            for ((ka, va), (kb, vb)) in pa.iter().zip(pb) {
+                if ka != kb {
+                    return Some(format!("{path}: key `{ka}` vs `{kb}`"));
+                }
+                if let Some(d) = diff_value(&format!("{path}.{ka}"), va, sa, vb, sb) {
+                    return Some(d);
+                }
+            }
+            None
+        }
+        (Value::Arr(xa), Value::Arr(xb)) => {
+            if xa.len() != xb.len() {
+                return Some(format!("{path}: {} entries vs {}", xa.len(), xb.len()));
+            }
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                if let Some(d) = diff_value(&format!("{path}[{i}]"), va, sa, vb, sb) {
+                    return Some(d);
+                }
+            }
+            None
+        }
+        _ => (a != b).then(|| format!("{path}: {a} vs {b}")),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Capture
+// ----------------------------------------------------------------------
+
+impl Machine {
+    /// Captures the complete machine state as a [`MachineSnapshot`].
+    ///
+    /// Valid between [`Machine::run_until`] calls: every inter-event
+    /// dependency lives in the event queue, so a resumed machine
+    /// continues bit-identically — same event order, same statistics,
+    /// same memory image — as the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::SnapshotUnsupported`] when a watchdog
+    /// violation is latched, or when a non-halted processor runs a
+    /// program that does not implement [`Program::save_state`].
+    pub fn snapshot(&self) -> Result<MachineSnapshot, MachineError> {
+        if let Some(v) = &self.stuck {
+            return Err(MachineError::SnapshotUnsupported {
+                detail: format!("watchdog violation latched: {v}"),
+            });
+        }
+        let mut blob = BlobWriter::new();
+        let page = self.config.cache.page_size();
+
+        let config = Value::obj()
+            .set("processors", self.config.processors as u64)
+            .set("page_size", page.bytes())
+            .set("sets", self.config.cache.sets() as u64)
+            .set("ways", self.config.cache.associativity() as u64)
+            .set("memory_bytes", self.config.memory_bytes)
+            .set("obs_enabled", self.config.obs.enabled);
+
+        let queue = Value::obj().set("next_seq", self.queue.next_seq()).set(
+            "entries",
+            Value::Arr(
+                self.queue
+                    .entries()
+                    .iter()
+                    .map(|(t, qseq, e)| event_to_value(*t, *qseq, e))
+                    .collect(),
+            ),
+        );
+
+        let (bookings, watermark) = self.bus.bookings();
+        let bs = self.bus.stats();
+        let bus = Value::obj()
+            .set(
+                "bookings",
+                Value::Arr(bookings.iter().map(|&(s, e)| u64s([s.as_ns(), e.as_ns()])).collect()),
+            )
+            .set("watermark", watermark.as_ns())
+            .set("counts", u64s(bs.counts_raw()))
+            .set("abort_counts", u64s(bs.abort_counts_raw()))
+            .set("aborts", bs.aborts)
+            .set("injected_aborts", bs.injected_aborts)
+            .set("busy", bs.busy.busy().as_ns())
+            .set("busy_intervals", bs.busy.intervals())
+            .set("arb_wait_total", bs.arb_wait_total.as_ns())
+            .set("arb_wait_max", bs.arb_wait_max.as_ns())
+            .set("reservations", bs.reservations);
+
+        // Main memory: only frames with non-zero content (fresh frames
+        // are all-zero, and resume starts from a zeroed memory).
+        let mut frames = Vec::new();
+        for f in 0..self.memory.frames() {
+            let frame = FrameNum::new(f);
+            let data = self.memory.read_frame(frame);
+            if data.iter().any(|&b| b != 0) {
+                frames.push(Value::obj().set("frame", f).set("data", blob.push(&data)));
+            }
+        }
+
+        let spaces = Value::Arr(
+            self.kernel
+                .asids()
+                .into_iter()
+                .map(|asid| {
+                    let pages = self
+                        .kernel
+                        .space(asid)
+                        .map(|space| {
+                            space
+                                .iter()
+                                .map(|(vpn, pte)| {
+                                    Value::obj()
+                                        .set("vpn", vpn.raw())
+                                        .set("frame", pte.frame.raw())
+                                        .set("writable", pte.writable)
+                                        .set("supervisor_only", pte.supervisor_only)
+                                        .set("referenced", pte.referenced)
+                                        .set("modified", pte.modified)
+                                        .set("hint_private", pte.hint_private)
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    Value::obj().set("asid", u64::from(asid.raw())).set("pages", Value::Arr(pages))
+                })
+                .collect(),
+        );
+        let kernel =
+            Value::obj().set("free_list", u64s(self.kernel.free_list())).set("spaces", spaces);
+
+        let swap = Value::Arr(
+            self.swap
+                .iter()
+                .map(|(&(asid, vpn), data)| {
+                    Value::obj()
+                        .set("asid", u64::from(asid.raw()))
+                        .set("vpn", vpn.raw())
+                        .set("data", blob.push(data))
+                })
+                .collect(),
+        );
+
+        let dma_protected = Value::Arr(
+            self.dma_protected
+                .iter()
+                .map(|(&frame, &host)| {
+                    Value::obj().set("frame", frame.raw()).set("host", host as u64)
+                })
+                .collect(),
+        );
+
+        let dmas = Value::Arr(
+            self.dmas
+                .iter()
+                .map(|d| {
+                    let phase = match d.phase {
+                        DmaPhase::Setup(i) => Value::obj().set("k", "setup").set("i", i as u64),
+                        DmaPhase::Transfer(i) => {
+                            Value::obj().set("k", "transfer").set("i", i as u64)
+                        }
+                        DmaPhase::Teardown => Value::obj().set("k", "teardown"),
+                        DmaPhase::Done => Value::obj().set("k", "done"),
+                    };
+                    Value::obj()
+                        .set("id", d.id.index() as u64)
+                        .set("host", d.host as u64)
+                        .set(
+                            "direction",
+                            match d.request.direction {
+                                DmaDirection::ToMemory => "to_mem",
+                                DmaDirection::FromMemory => "from_mem",
+                            },
+                        )
+                        .set("frames", u64s(d.request.frames.iter().map(|f| f.raw())))
+                        .set("data", blob.push(&d.request.data))
+                        .set("phase", phase)
+                        .set(
+                            "blocked_on",
+                            d.blocked_on.map_or(Value::Null, |i| Value::from(i as u64)),
+                        )
+                        .set("buffer", blob.push(d.buffer()))
+                        .set("seq", d.seq())
+                })
+                .collect(),
+        );
+
+        let fs = &self.fault_stats;
+        let fault_stats = Value::obj()
+            .set("injected_aborts", fs.injected_aborts)
+            .set("dropped_words", fs.dropped_words)
+            .set("forced_overflows", fs.forced_overflows)
+            .set("copier_retries", fs.copier_retries)
+            .set("copier_retry_time", fs.copier_retry_time.as_ns())
+            .set("stalls", fs.stalls)
+            .set("stall_time", fs.stall_time.as_ns());
+
+        let fault_hook = match self.fault_hook.save_state() {
+            Some(bytes) => blob.push(&bytes),
+            None => Value::Null,
+        };
+
+        let mut cpus = Vec::with_capacity(self.cpus.len());
+        for cpu in &self.cpus {
+            let program = match &cpu.program {
+                Some(p) => match p.save_state() {
+                    Some(state) => state,
+                    None if cpu.state == CpuState::Halted => Value::Null,
+                    None => {
+                        return Err(MachineError::SnapshotUnsupported {
+                            detail: format!("{} runs a program without state capture", cpu.id),
+                        })
+                    }
+                },
+                None => Value::Null,
+            };
+            let slots = Value::Arr(
+                cpu.cache
+                    .iter_valid()
+                    .map(|(id, tag, flags)| {
+                        Value::obj()
+                            .set("set", id.set as u64)
+                            .set("way", id.way as u64)
+                            .set("asid", u64::from(tag.asid.raw()))
+                            .set("vpn", tag.vpn.raw())
+                            .set("flags", flags_to_bits(flags))
+                            .set("last_use", cpu.cache.last_use(id))
+                            .set("data", blob.push(&cpu.cache.snapshot(id)))
+                    })
+                    .collect(),
+            );
+            let table = Value::Arr(
+                cpu.monitor
+                    .table()
+                    .iter_active()
+                    .map(|(frame, code)| {
+                        Value::obj().set("frame", frame.raw()).set("code", u64::from(code.bits()))
+                    })
+                    .collect(),
+            );
+            let fifo = Value::Arr(
+                cpu.monitor
+                    .pending_words()
+                    .map(|w| {
+                        Value::obj()
+                            .set("kind", kind_to_idx(w.kind))
+                            .set("frame", w.frame.raw())
+                            .set("issuer", w.issuer.index() as u64)
+                    })
+                    .collect(),
+            );
+            let st = &cpu.stats;
+            let stats = Value::obj()
+                .set("refs", st.refs)
+                .set("reads", st.reads)
+                .set("writes", st.writes)
+                .set("read_misses", st.read_misses)
+                .set("write_misses", st.write_misses)
+                .set("upgrades", st.upgrades)
+                .set("pte_misses", st.pte_misses)
+                .set("page_faults", st.page_faults)
+                .set("writebacks", st.writebacks)
+                .set("retries", st.retries)
+                .set("consistency_interrupts", st.consistency_interrupts)
+                .set("invalidations", st.invalidations)
+                .set("downgrades", st.downgrades)
+                .set("notifies", st.notifies)
+                .set("fifo_recoveries", st.fifo_recoveries)
+                .set("violations", st.violations)
+                .set("useful_time", st.useful_time.as_ns())
+                .set("stall_time", st.stall_time.as_ns());
+            cpus.push(
+                Value::obj()
+                    .set("asid", u64::from(cpu.asid.raw()))
+                    .set("state", cpu_state_to_value(cpu.state))
+                    .set("pending", cpu.pending.as_ref().map_or(Value::Null, pending_to_value))
+                    .set("last_result", op_result_to_value(&cpu.last_result))
+                    .set("wake_seq", cpu.wake_seq)
+                    .set("wake_pending", cpu.wake_pending)
+                    .set(
+                        "watches",
+                        Value::Arr(
+                            cpu.watches
+                                .iter()
+                                .map(|(&f, &va)| {
+                                    Value::obj().set("frame", f.raw()).set("va", va.raw())
+                                })
+                                .collect(),
+                        ),
+                    )
+                    .set(
+                        "pending_notify",
+                        cpu.pending_notify.map_or(Value::Null, |a| Value::from(a.raw())),
+                    )
+                    .set(
+                        "park_deadline",
+                        cpu.park_deadline.map_or(Value::Null, |t| Value::from(t.as_ns())),
+                    )
+                    .set("retry_streak", u64::from(cpu.retry_streak))
+                    .set("zero_yield_acquires", cpu.zero_yield_acquires)
+                    .set(
+                        "attention",
+                        cpu.attention.since().map_or(Value::Null, |t| Value::from(t.as_ns())),
+                    )
+                    .set("op_start", cpu.op_start.as_ns())
+                    .set("op_stalled", cpu.op_stalled)
+                    .set("miss_latency", histogram_to_value(&cpu.miss_latency))
+                    .set("stats", stats)
+                    .set("cache", Value::obj().set("clock", cpu.cache.clock()).set("slots", slots))
+                    .set(
+                        "monitor",
+                        Value::obj()
+                            .set("table", table)
+                            .set("fifo", fifo)
+                            .set("overflow", cpu.monitor.overflowed())
+                            .set("queued_total", cpu.monitor.queued_total())
+                            .set("dropped_total", cpu.monitor.dropped_total()),
+                    )
+                    .set(
+                        "phys",
+                        Value::Arr(
+                            cpu.phys
+                                .iter()
+                                .map(|(frame, slot)| {
+                                    Value::obj()
+                                        .set("frame", frame.raw())
+                                        .set("slot", slot_to_value(slot))
+                                })
+                                .collect(),
+                        ),
+                    )
+                    .set("program", program),
+            );
+        }
+
+        let header = Value::obj()
+            .set("version", VERSION)
+            .set("config", config)
+            .set("now", self.now.as_ns())
+            .set("events_delivered", self.events_delivered)
+            .set("queue", queue)
+            .set("bus", bus)
+            .set("memory", Value::Arr(frames))
+            .set("kernel", kernel)
+            .set("swap", swap)
+            .set("dma_protected", dma_protected)
+            .set("dmas", dmas)
+            .set("fault_stats", fault_stats)
+            .set("fault_hook", fault_hook)
+            .set("cpus", Value::Arr(cpus));
+
+        Ok(MachineSnapshot { header, blob: blob.buf })
+    }
+
+    /// Rebuilds a machine from a snapshot so that continuing it is
+    /// bit-identical to the uninterrupted original run.
+    ///
+    /// `config` must describe the same machine the snapshot was taken
+    /// from (processor count, page size, cache geometry, memory size,
+    /// observability flag — and, for bit-identity, the same timings).
+    /// `programs` supplies one fresh program instance per processor,
+    /// rewound through [`Program::restore_state`]; pass `None` for
+    /// processors whose snapshot holds no program state. `hook` supplies
+    /// a fresh fault hook when the snapshot captured one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::SnapshotMismatch`] when the config,
+    /// programs or hook do not match the snapshot, and
+    /// [`MachineError::SnapshotCorrupt`] for malformed headers.
+    pub fn resume(
+        config: MachineConfig,
+        snap: &MachineSnapshot,
+        programs: Vec<Option<Box<dyn Program>>>,
+        hook: Option<Box<dyn FaultHook>>,
+    ) -> Result<Machine, MachineError> {
+        let h = &snap.header;
+        if h_u64(h, "version")? != VERSION {
+            return Err(mismatch(format!(
+                "snapshot version {} (this build reads {VERSION})",
+                h_u64(h, "version")?
+            )));
+        }
+        let mut m = Machine::build(config)?;
+        let hc = h.get("config").ok_or_else(|| corrupt("missing config digest"))?;
+        let digest: [(&str, u64); 5] = [
+            ("processors", m.config.processors as u64),
+            ("page_size", m.config.cache.page_size().bytes()),
+            ("sets", m.config.cache.sets() as u64),
+            ("ways", m.config.cache.associativity() as u64),
+            ("memory_bytes", m.config.memory_bytes),
+        ];
+        for (key, ours) in digest {
+            let theirs = h_u64(hc, key)?;
+            if theirs != ours {
+                return Err(mismatch(format!("{key}: snapshot has {theirs}, machine has {ours}")));
+            }
+        }
+        if h_bool(hc, "obs_enabled")? != m.config.obs.enabled {
+            return Err(mismatch("obs_enabled differs"));
+        }
+        if programs.len() != m.cpus.len() {
+            return Err(mismatch(format!(
+                "{} programs supplied for {} processors",
+                programs.len(),
+                m.cpus.len()
+            )));
+        }
+
+        m.now = h_ns(h, "now")?;
+        m.events_delivered = h_u64(h, "events_delivered")?;
+
+        let q = h.get("queue").ok_or_else(|| corrupt("missing queue"))?;
+        let entries =
+            h_arr(q, "entries")?.iter().map(event_from_value).collect::<Result<Vec<_>, _>>()?;
+        m.queue = EventQueue::restore(h_u64(q, "next_seq")?, entries);
+
+        let bv = h.get("bus").ok_or_else(|| corrupt("missing bus"))?;
+        let bookings = h_arr(bv, "bookings")?
+            .iter()
+            .map(|pair| {
+                let p = pair.as_arr().ok_or_else(|| corrupt("bad booking"))?;
+                match p {
+                    [s, e] => Ok((
+                        Nanos::from_ns(s.as_u64().ok_or_else(|| corrupt("bad booking"))?),
+                        Nanos::from_ns(e.as_u64().ok_or_else(|| corrupt("bad booking"))?),
+                    )),
+                    _ => Err(corrupt("bad booking")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        m.bus.restore_bookings(bookings, h_ns(bv, "watermark")?);
+        let counts = u64_array8(bv, "counts")?;
+        let abort_counts = u64_array8(bv, "abort_counts")?;
+        let bs = m.bus.stats_mut();
+        bs.restore_raw_counts(counts, abort_counts);
+        bs.aborts = h_u64(bv, "aborts")?;
+        bs.injected_aborts = h_u64(bv, "injected_aborts")?;
+        bs.busy = BusyTracker::restore(h_ns(bv, "busy")?, h_u64(bv, "busy_intervals")?);
+        bs.arb_wait_total = h_ns(bv, "arb_wait_total")?;
+        bs.arb_wait_max = h_ns(bv, "arb_wait_max")?;
+        bs.reservations = h_u64(bv, "reservations")?;
+
+        for entry in h_arr(h, "memory")? {
+            let frame = FrameNum::new(h_u64(entry, "frame")?);
+            let data =
+                blob_slice(&snap.blob, entry.get("data").ok_or_else(|| corrupt("missing data"))?)?;
+            m.memory.write_frame(frame, data);
+        }
+
+        let kv = h.get("kernel").ok_or_else(|| corrupt("missing kernel"))?;
+        for space in h_arr(kv, "spaces")? {
+            let asid = Asid::new(h_u64(space, "asid")? as u8);
+            m.kernel.space_mut(asid); // force creation even when empty
+            for page in h_arr(space, "pages")? {
+                let pte = Pte {
+                    frame: FrameNum::new(h_u64(page, "frame")?),
+                    writable: h_bool(page, "writable")?,
+                    supervisor_only: h_bool(page, "supervisor_only")?,
+                    referenced: h_bool(page, "referenced")?,
+                    modified: h_bool(page, "modified")?,
+                    hint_private: h_bool(page, "hint_private")?,
+                };
+                m.kernel.map(asid, VirtPageNum::new(h_u64(page, "vpn")?), pte);
+            }
+        }
+        m.kernel.restore_free_list(u64_list(kv, "free_list")?);
+
+        for entry in h_arr(h, "swap")? {
+            let key =
+                (Asid::new(h_u64(entry, "asid")? as u8), VirtPageNum::new(h_u64(entry, "vpn")?));
+            let data =
+                blob_slice(&snap.blob, entry.get("data").ok_or_else(|| corrupt("missing data"))?)?;
+            m.swap.insert(key, data.to_vec());
+        }
+
+        for entry in h_arr(h, "dma_protected")? {
+            m.dma_protected
+                .insert(FrameNum::new(h_u64(entry, "frame")?), h_u64(entry, "host")? as usize);
+        }
+
+        for entry in h_arr(h, "dmas")? {
+            let frames = u64_list(entry, "frames")?.into_iter().map(FrameNum::new).collect();
+            let data =
+                blob_slice(&snap.blob, entry.get("data").ok_or_else(|| corrupt("missing data"))?)?
+                    .to_vec();
+            let direction = match h_str(entry, "direction")? {
+                "to_mem" => DmaDirection::ToMemory,
+                "from_mem" => DmaDirection::FromMemory,
+                other => return Err(corrupt(format!("unknown DMA direction `{other}`"))),
+            };
+            let request = DmaRequest { frames, direction, data };
+            let host = h_u64(entry, "host")? as usize;
+            let mut engine =
+                DmaEngine::new(ProcessorId::new(h_u64(entry, "id")? as usize), host, request);
+            let pv = entry.get("phase").ok_or_else(|| corrupt("missing phase"))?;
+            let phase = match h_str(pv, "k")? {
+                "setup" => DmaPhase::Setup(h_u64(pv, "i")? as usize),
+                "transfer" => DmaPhase::Transfer(h_u64(pv, "i")? as usize),
+                "teardown" => DmaPhase::Teardown,
+                "done" => DmaPhase::Done,
+                other => return Err(corrupt(format!("unknown DMA phase `{other}`"))),
+            };
+            let blocked_on = match entry.get("blocked_on") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| corrupt("bad blocked_on"))? as usize),
+            };
+            let buffer = blob_slice(
+                &snap.blob,
+                entry.get("buffer").ok_or_else(|| corrupt("missing buffer"))?,
+            )?
+            .to_vec();
+            engine.restore_progress(phase, blocked_on, buffer, h_u64(entry, "seq")?);
+            m.dmas.push(engine);
+        }
+
+        let fsv = h.get("fault_stats").ok_or_else(|| corrupt("missing fault_stats"))?;
+        m.fault_stats = crate::FaultStats {
+            injected_aborts: h_u64(fsv, "injected_aborts")?,
+            dropped_words: h_u64(fsv, "dropped_words")?,
+            forced_overflows: h_u64(fsv, "forced_overflows")?,
+            copier_retries: h_u64(fsv, "copier_retries")?,
+            copier_retry_time: h_ns(fsv, "copier_retry_time")?,
+            stalls: h_u64(fsv, "stalls")?,
+            stall_time: h_ns(fsv, "stall_time")?,
+        };
+
+        match h.get("fault_hook") {
+            Some(Value::Null) | None => {
+                if hook.is_some() {
+                    return Err(mismatch("a fault hook was supplied but the snapshot has none"));
+                }
+            }
+            Some(hook_ref) => {
+                let state = blob_slice(&snap.blob, hook_ref)?;
+                let mut hook = hook.ok_or_else(|| {
+                    mismatch("the snapshot captured a fault hook but none was supplied")
+                })?;
+                if !hook.restore_state(state) {
+                    return Err(mismatch("the supplied fault hook rejected the captured state"));
+                }
+                m.fault_hook = hook;
+            }
+        }
+
+        let cpu_values = h_arr(h, "cpus")?;
+        if cpu_values.len() != m.cpus.len() {
+            return Err(mismatch(format!(
+                "snapshot has {} processors, machine has {}",
+                cpu_values.len(),
+                m.cpus.len()
+            )));
+        }
+        for ((cpu, cv), program) in m.cpus.iter_mut().zip(cpu_values).zip(programs) {
+            cpu.asid = Asid::new(h_u64(cv, "asid")? as u8);
+            cpu.state =
+                cpu_state_from_value(cv.get("state").ok_or_else(|| corrupt("missing state"))?)?;
+            cpu.pending = match cv.get("pending") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(pending_from_value(v)?),
+            };
+            cpu.last_result = cv
+                .get("last_result")
+                .and_then(op_result_from_value)
+                .ok_or_else(|| corrupt("bad last_result"))?;
+            cpu.wake_seq = h_u64(cv, "wake_seq")?;
+            cpu.wake_pending = h_bool(cv, "wake_pending")?;
+            cpu.watches = h_arr(cv, "watches")?
+                .iter()
+                .map(|w| Ok((FrameNum::new(h_u64(w, "frame")?), VirtAddr::new(h_u64(w, "va")?))))
+                .collect::<Result<BTreeMap<_, _>, MachineError>>()?;
+            cpu.pending_notify = match cv.get("pending_notify") {
+                Some(Value::Null) | None => None,
+                Some(v) => {
+                    Some(VirtAddr::new(v.as_u64().ok_or_else(|| corrupt("bad pending_notify"))?))
+                }
+            };
+            cpu.park_deadline = match cv.get("park_deadline") {
+                Some(Value::Null) | None => None,
+                Some(v) => {
+                    Some(Nanos::from_ns(v.as_u64().ok_or_else(|| corrupt("bad park_deadline"))?))
+                }
+            };
+            cpu.retry_streak = h_u64(cv, "retry_streak")? as u32;
+            cpu.zero_yield_acquires = h_u64(cv, "zero_yield_acquires")?;
+            cpu.attention = AttentionClock::new();
+            if let Some(v) = cv.get("attention") {
+                if let Some(ns) = v.as_u64() {
+                    cpu.attention.note(Nanos::from_ns(ns));
+                }
+            }
+            cpu.op_start = h_ns(cv, "op_start")?;
+            cpu.op_stalled = h_bool(cv, "op_stalled")?;
+            cpu.miss_latency = histogram_from_value(
+                cv.get("miss_latency").ok_or_else(|| corrupt("missing miss_latency"))?,
+            )?;
+
+            let sv = cv.get("stats").ok_or_else(|| corrupt("missing stats"))?;
+            let st = &mut cpu.stats;
+            st.refs = h_u64(sv, "refs")?;
+            st.reads = h_u64(sv, "reads")?;
+            st.writes = h_u64(sv, "writes")?;
+            st.read_misses = h_u64(sv, "read_misses")?;
+            st.write_misses = h_u64(sv, "write_misses")?;
+            st.upgrades = h_u64(sv, "upgrades")?;
+            st.pte_misses = h_u64(sv, "pte_misses")?;
+            st.page_faults = h_u64(sv, "page_faults")?;
+            st.writebacks = h_u64(sv, "writebacks")?;
+            st.retries = h_u64(sv, "retries")?;
+            st.consistency_interrupts = h_u64(sv, "consistency_interrupts")?;
+            st.invalidations = h_u64(sv, "invalidations")?;
+            st.downgrades = h_u64(sv, "downgrades")?;
+            st.notifies = h_u64(sv, "notifies")?;
+            st.fifo_recoveries = h_u64(sv, "fifo_recoveries")?;
+            st.violations = h_u64(sv, "violations")?;
+            st.useful_time = h_ns(sv, "useful_time")?;
+            st.stall_time = h_ns(sv, "stall_time")?;
+
+            let cache = cv.get("cache").ok_or_else(|| corrupt("missing cache"))?;
+            for slot in h_arr(cache, "slots")? {
+                let id =
+                    SlotId { set: h_u64(slot, "set")? as usize, way: h_u64(slot, "way")? as usize };
+                let tag = Tag::new(
+                    Asid::new(h_u64(slot, "asid")? as u8),
+                    VirtPageNum::new(h_u64(slot, "vpn")?),
+                );
+                let data = blob_slice(
+                    &snap.blob,
+                    slot.get("data").ok_or_else(|| corrupt("missing slot data"))?,
+                )?;
+                cpu.cache.restore_slot(
+                    id,
+                    tag,
+                    flags_from_bits(h_u64(slot, "flags")?),
+                    h_u64(slot, "last_use")?,
+                    data.to_vec(),
+                );
+            }
+            cpu.cache.restore_clock(h_u64(cache, "clock")?);
+
+            let mon = cv.get("monitor").ok_or_else(|| corrupt("missing monitor"))?;
+            for entry in h_arr(mon, "table")? {
+                cpu.monitor.table_mut().set(
+                    FrameNum::new(h_u64(entry, "frame")?),
+                    ActionCode::from_bits(h_u64(entry, "code")? as u8),
+                );
+            }
+            let words = h_arr(mon, "fifo")?
+                .iter()
+                .map(|w| {
+                    Ok(InterruptWord {
+                        kind: kind_from_idx(h_u64(w, "kind")?)
+                            .ok_or_else(|| corrupt("bad interrupt kind"))?,
+                        frame: FrameNum::new(h_u64(w, "frame")?),
+                        issuer: ProcessorId::new(h_u64(w, "issuer")? as usize),
+                    })
+                })
+                .collect::<Result<Vec<_>, MachineError>>()?;
+            cpu.monitor.restore_fifo(
+                words,
+                h_bool(mon, "overflow")?,
+                h_u64(mon, "queued_total")?,
+                h_u64(mon, "dropped_total")?,
+            );
+
+            for entry in h_arr(cv, "phys")? {
+                cpu.phys.insert(
+                    FrameNum::new(h_u64(entry, "frame")?),
+                    slot_from_value(
+                        entry.get("slot").ok_or_else(|| corrupt("missing phys slot"))?,
+                    )?,
+                );
+            }
+
+            match cv.get("program") {
+                Some(Value::Null) | None => {
+                    if program.is_some() {
+                        return Err(mismatch(format!(
+                            "a program was supplied for {} but its snapshot holds no program state",
+                            cpu.id
+                        )));
+                    }
+                    cpu.program = None;
+                }
+                Some(state) => {
+                    let mut program = program.ok_or_else(|| {
+                        mismatch(format!(
+                            "the snapshot holds program state for {} but no program was supplied",
+                            cpu.id
+                        ))
+                    })?;
+                    if !program.restore_state(state) {
+                        return Err(mismatch(format!(
+                            "the supplied program for {} rejected the captured state",
+                            cpu.id
+                        )));
+                    }
+                    cpu.program = Some(program);
+                }
+            }
+        }
+
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_codec_roundtrips() {
+        let ops = [
+            Op::Compute(Nanos::from_us(3)),
+            Op::Read(VirtAddr::new(0x1000)),
+            Op::Write(VirtAddr::new(0x2000), 42),
+            Op::Tas(VirtAddr::new(0x3000)),
+            Op::Notify(VirtAddr::new(0x4000)),
+            Op::WatchNotify(VirtAddr::new(0x5000)),
+            Op::WaitNotify,
+            Op::UncachedRead(PhysAddr::new(0x6000)),
+            Op::UncachedWrite(PhysAddr::new(0x7000), 7),
+            Op::UncachedTas(PhysAddr::new(0x8000)),
+            Op::Halt,
+        ];
+        for op in ops {
+            assert_eq!(op_from_value(&op_to_value(&op)), Some(op), "{op}");
+        }
+        assert_eq!(op_from_value(&Value::obj().set("k", "bogus")), None);
+    }
+
+    #[test]
+    fn op_result_codec_roundtrips() {
+        for r in [
+            OpResult::None,
+            OpResult::Read(9),
+            OpResult::Tas(1),
+            OpResult::Notified(VirtAddr::new(0x100)),
+        ] {
+            assert_eq!(op_result_from_value(&op_result_to_value(&r)), Some(r));
+        }
+    }
+
+    #[test]
+    fn flags_bits_roundtrip() {
+        for bits in 0..64u64 {
+            assert_eq!(flags_to_bits(flags_from_bits(bits)), bits);
+        }
+    }
+
+    #[test]
+    fn kind_idx_roundtrip() {
+        for i in 0..8 {
+            assert_eq!(kind_to_idx(kind_from_idx(i).unwrap()), i);
+        }
+        assert!(kind_from_idx(8).is_none());
+    }
+
+    #[test]
+    fn container_roundtrip_and_corruption() {
+        let snap = MachineSnapshot {
+            header: Value::obj().set("version", VERSION).set("x", 7u64),
+            blob: vec![1, 2, 3],
+        };
+        let bytes = snap.to_bytes();
+        let back = MachineSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert!(MachineSnapshot::from_bytes(b"NOTASNAP").is_err());
+        assert!(MachineSnapshot::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn diff_pinpoints_blob_byte() {
+        let mut blob_a = BlobWriter::new();
+        let ra = blob_a.push(&[0, 1, 2, 3]);
+        let a = MachineSnapshot { header: Value::obj().set("mem", ra), blob: blob_a.buf };
+        let mut blob_b = BlobWriter::new();
+        let rb = blob_b.push(&[0, 1, 9, 3]);
+        let b = MachineSnapshot { header: Value::obj().set("mem", rb), blob: blob_b.buf };
+        let d = MachineSnapshot::diff(&a, &b).unwrap();
+        assert!(d.contains("$.mem") && d.contains("byte 2"), "{d}");
+        assert_eq!(MachineSnapshot::diff(&a, &a), None);
+    }
+
+    #[test]
+    fn diff_pinpoints_header_field() {
+        let a = MachineSnapshot {
+            header: Value::obj().set("cpus", Value::Arr(vec![Value::obj().set("wake_seq", 1u64)])),
+            blob: vec![],
+        };
+        let b = MachineSnapshot {
+            header: Value::obj().set("cpus", Value::Arr(vec![Value::obj().set("wake_seq", 2u64)])),
+            blob: vec![],
+        };
+        let d = MachineSnapshot::diff(&a, &b).unwrap();
+        assert!(d.contains("$.cpus[0].wake_seq"), "{d}");
+    }
+
+    #[test]
+    fn meta_set_and_replace() {
+        let mut snap =
+            MachineSnapshot { header: Value::obj().set("version", VERSION), blob: vec![] };
+        assert!(snap.meta().is_none());
+        snap.set_meta(Value::obj().set("workload", "lock"));
+        assert_eq!(snap.meta().unwrap().get("workload").unwrap().as_str(), Some("lock"));
+        snap.set_meta(Value::obj().set("workload", "sweep"));
+        assert_eq!(snap.meta().unwrap().get("workload").unwrap().as_str(), Some("sweep"));
+    }
+}

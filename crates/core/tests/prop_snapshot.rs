@@ -1,0 +1,328 @@
+//! Property tests of the snapshot/resume contract: a machine snapshotted
+//! at an arbitrary point and resumed must be *bit-identical* — same
+//! elapsed time, same statistics, same fault accounting, same final
+//! memory — to the uninterrupted run, across workloads × processor
+//! counts × fault injection on/off × observability on/off. Snapshot
+//! bytes themselves must be deterministic (same state → same bytes), and
+//! the binary container must round-trip.
+
+use proptest::prelude::*;
+use vmp_core::workloads::{
+    BarrierWorker, LockDiscipline, LockWorker, MessageReceiver, MessageSender, SweepWorker,
+};
+use vmp_core::{
+    Machine, MachineConfig, MachineError, MachineSnapshot, ObsConfig, Program, WatchdogConfig,
+};
+use vmp_faults::{FaultPlan, FaultRates};
+use vmp_types::{Asid, Nanos, VirtAddr};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    SpinLock,
+    NotifyLock,
+    DisjointSweeps,
+    FalseSharing,
+    Messages,
+    Barrier,
+}
+
+const WORKLOADS: [Workload; 6] = [
+    Workload::SpinLock,
+    Workload::NotifyLock,
+    Workload::DisjointSweeps,
+    Workload::FalseSharing,
+    Workload::Messages,
+    Workload::Barrier,
+];
+
+fn config(processors: usize, obs: bool) -> MachineConfig {
+    let mut config = MachineConfig::small();
+    config.processors = processors;
+    config.validate_each_step = false;
+    config.audit_every = Some(64);
+    config.watchdog = Some(WatchdogConfig::default());
+    config.max_time = Nanos::from_ms(60_000);
+    if obs {
+        config.obs = ObsConfig::on();
+    }
+    config
+}
+
+/// One fresh program instance per processor. Called once to seed the
+/// reference run, once to seed the interrupted run, and once more to
+/// supply `Machine::resume` with rewindable instances.
+fn programs(workload: Workload, processors: usize, page: u64) -> Vec<Box<dyn Program>> {
+    (0..processors)
+        .map(|cpu| -> Box<dyn Program> {
+            match workload {
+                Workload::SpinLock | Workload::NotifyLock => {
+                    let d = if workload == Workload::SpinLock {
+                        LockDiscipline::Spin
+                    } else {
+                        LockDiscipline::Notify
+                    };
+                    Box::new(LockWorker::new(
+                        d,
+                        VirtAddr::new(0x1000),
+                        VirtAddr::new(0x2000),
+                        4,
+                        Nanos::from_us(2),
+                        Nanos::from_us(3),
+                    ))
+                }
+                Workload::DisjointSweeps => Box::new(SweepWorker::new(
+                    VirtAddr::new(0x4000 + cpu as u64 * 4 * page),
+                    page / 4,
+                    4,
+                    3,
+                    true,
+                )),
+                Workload::FalseSharing => Box::new(SweepWorker::new(
+                    VirtAddr::new(0x4000 + cpu as u64 * 4),
+                    page / 16,
+                    16,
+                    3,
+                    true,
+                )),
+                Workload::Messages => {
+                    // CPU 0 sends, CPU 1 receives; extra CPUs sweep
+                    // private pages so every processor count works.
+                    let mailbox = VirtAddr::new(0x1000);
+                    let ack = VirtAddr::new(0x2000);
+                    match cpu {
+                        // A generous gap: the single-word mailbox must be
+                        // consumed before the next message lands.
+                        0 => Box::new(MessageSender::new(
+                            mailbox,
+                            vec![11, 22, 33],
+                            Nanos::from_ms(2),
+                        )),
+                        1 => Box::new(MessageReceiver::new(mailbox, ack, 3)),
+                        _ => Box::new(SweepWorker::new(
+                            VirtAddr::new(0x10000 + cpu as u64 * 4 * page),
+                            page / 4,
+                            4,
+                            2,
+                            true,
+                        )),
+                    }
+                }
+                Workload::Barrier => Box::new(BarrierWorker::new(
+                    processors as u32,
+                    3,
+                    VirtAddr::new(0x1000),
+                    VirtAddr::new(0x2000),
+                    VirtAddr::new(0x3000),
+                    Nanos::from_us(2),
+                )),
+            }
+        })
+        .collect()
+}
+
+fn install(m: &mut Machine, programs: Vec<Box<dyn Program>>) {
+    for (cpu, p) in programs.into_iter().enumerate() {
+        m.set_program_boxed(cpu, p).unwrap();
+    }
+}
+
+fn probe_words(m: &Machine) -> Vec<Option<u32>> {
+    [0x1000u64, 0x2000, 0x3000, 0x4000, 0x4004, 0x40fc, 0x8000, 0x10000]
+        .iter()
+        .map(|&a| m.peek_word(Asid::new(1), VirtAddr::new(a)))
+        .collect()
+}
+
+fn fault_hook(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed, FaultRates::light())
+}
+
+/// Runs the workload start to finish with no interruption and returns
+/// the canonical (report JSON, final probe words) signature.
+fn uninterrupted(
+    workload: Workload,
+    processors: usize,
+    faults: Option<u64>,
+    obs: bool,
+) -> (String, Vec<Option<u32>>) {
+    let cfg = config(processors, obs);
+    let page = cfg.cache.page_size().bytes();
+    let mut m = Machine::build(cfg).unwrap();
+    install(&mut m, programs(workload, processors, page));
+    if let Some(seed) = faults {
+        m.install_fault_hook(fault_hook(seed));
+    }
+    let report = m.run().unwrap();
+    m.validate().unwrap();
+    (report.to_json().to_string(), probe_words(&m))
+}
+
+/// Runs until `cut`, snapshots, round-trips the container through bytes,
+/// resumes into a *fresh* machine, and finishes the run there.
+fn interrupted(
+    workload: Workload,
+    processors: usize,
+    faults: Option<u64>,
+    obs: bool,
+    cut: Nanos,
+) -> (String, Vec<Option<u32>>) {
+    let cfg = config(processors, obs);
+    let page = cfg.cache.page_size().bytes();
+    let mut m = Machine::build(cfg.clone()).unwrap();
+    install(&mut m, programs(workload, processors, page));
+    if let Some(seed) = faults {
+        m.install_fault_hook(fault_hook(seed));
+    }
+    m.run_until(cut).unwrap();
+    let snap = m.snapshot().unwrap();
+    drop(m);
+
+    // The container must round-trip byte-exactly.
+    let snap = MachineSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let fresh: Vec<Option<Box<dyn Program>>> =
+        programs(workload, processors, page).into_iter().map(Some).collect();
+    let hook = faults.map(|seed| Box::new(fault_hook(seed)) as _);
+    let mut m = Machine::resume(cfg, &snap, fresh, hook).unwrap();
+    let report = m.run().unwrap();
+    m.validate().unwrap();
+    (report.to_json().to_string(), probe_words(&m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Snapshot-at-T then resume is bit-identical to never stopping, for
+    /// every workload × processor count × faults on/off × obs on/off.
+    #[test]
+    fn snapshot_resume_is_bit_identical(
+        widx in 0usize..WORKLOADS.len(),
+        processors in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        faults in prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+        obs in any::<bool>(),
+        cut_us in 1u64..4000,
+    ) {
+        let workload = WORKLOADS[widx];
+        // Messages/Barrier need at least the participating CPUs.
+        let processors = if workload == Workload::Messages { processors.max(2) } else { processors };
+        let reference = uninterrupted(workload, processors, faults, obs);
+        let resumed = interrupted(workload, processors, faults, obs, Nanos::from_us(cut_us));
+        prop_assert_eq!(
+            &reference.0, &resumed.0,
+            "resumed report diverged ({:?}, {} cpus, faults {:?}, obs {})",
+            workload, processors, faults, obs
+        );
+        prop_assert_eq!(
+            &reference.1, &resumed.1,
+            "resumed memory diverged ({:?}, {} cpus)", workload, processors
+        );
+    }
+
+    /// The same machine state always serializes to the same bytes — the
+    /// property the committed golden corpus rests on.
+    #[test]
+    fn snapshot_bytes_are_deterministic(
+        widx in 0usize..WORKLOADS.len(),
+        seed in any::<u64>(),
+        cut_us in 1u64..2000,
+    ) {
+        let workload = WORKLOADS[widx];
+        let take = || {
+            let cfg = config(2, false);
+            let page = cfg.cache.page_size().bytes();
+            let mut m = Machine::build(cfg).unwrap();
+            install(&mut m, programs(workload, 2, page));
+            m.install_fault_hook(fault_hook(seed));
+            m.run_until(Nanos::from_us(cut_us)).unwrap();
+            m.snapshot().unwrap().to_bytes()
+        };
+        prop_assert_eq!(take(), take(), "snapshot bytes must be deterministic");
+    }
+}
+
+/// Double-resume: snapshotting the *resumed* machine again mid-flight and
+/// resuming that must still land bit-identical — checkpoints compose.
+#[test]
+fn chained_snapshots_compose() {
+    let workload = Workload::NotifyLock;
+    let cfg = config(4, false);
+    let page = cfg.cache.page_size().bytes();
+    let reference = uninterrupted(workload, 4, Some(5), false);
+
+    let mut m = Machine::build(cfg.clone()).unwrap();
+    install(&mut m, programs(workload, 4, page));
+    m.install_fault_hook(fault_hook(5));
+    m.run_until(Nanos::from_us(40)).unwrap();
+    let snap1 = m.snapshot().unwrap();
+
+    let fresh: Vec<Option<Box<dyn Program>>> =
+        programs(workload, 4, page).into_iter().map(Some).collect();
+    let mut m = Machine::resume(cfg.clone(), &snap1, fresh, Some(Box::new(fault_hook(5)))).unwrap();
+    m.run_until(Nanos::from_us(160)).unwrap();
+    let snap2 = m.snapshot().unwrap();
+
+    let fresh: Vec<Option<Box<dyn Program>>> =
+        programs(workload, 4, page).into_iter().map(Some).collect();
+    let mut m = Machine::resume(cfg, &snap2, fresh, Some(Box::new(fault_hook(5)))).unwrap();
+    let report = m.run().unwrap();
+    m.validate().unwrap();
+    assert_eq!(reference.0, report.to_json().to_string());
+    assert_eq!(reference.1, probe_words(&m));
+}
+
+/// Mismatched geometry, missing programs and missing hooks are rejected
+/// loudly, never silently absorbed.
+#[test]
+fn resume_rejects_mismatches() {
+    let cfg = config(2, false);
+    let page = cfg.cache.page_size().bytes();
+    let mut m = Machine::build(cfg.clone()).unwrap();
+    install(&mut m, programs(Workload::SpinLock, 2, page));
+    m.install_fault_hook(fault_hook(1));
+    m.run_until(Nanos::from_us(50)).unwrap();
+    let snap = m.snapshot().unwrap();
+
+    // Wrong processor count.
+    let bad = config(4, false);
+    let fresh: Vec<Option<Box<dyn Program>>> =
+        programs(Workload::SpinLock, 4, page).into_iter().map(Some).collect();
+    let err = Machine::resume(bad, &snap, fresh, Some(Box::new(fault_hook(1)))).unwrap_err();
+    assert!(matches!(err, MachineError::SnapshotMismatch { .. }), "{err}");
+
+    // Missing fault hook.
+    let fresh: Vec<Option<Box<dyn Program>>> =
+        programs(Workload::SpinLock, 2, page).into_iter().map(Some).collect();
+    let err = Machine::resume(cfg.clone(), &snap, fresh, None).unwrap_err();
+    assert!(matches!(err, MachineError::SnapshotMismatch { .. }), "{err}");
+
+    // Missing programs.
+    let err =
+        Machine::resume(cfg, &snap, vec![None, None], Some(Box::new(fault_hook(1)))).unwrap_err();
+    assert!(matches!(err, MachineError::SnapshotMismatch { .. }), "{err}");
+}
+
+/// Corrupt containers are detected, and `diff` pinpoints a doctored
+/// field rather than just saying "different".
+#[test]
+fn corruption_is_detected_and_diff_pinpoints() {
+    let cfg = config(2, false);
+    let page = cfg.cache.page_size().bytes();
+    let mut m = Machine::build(cfg).unwrap();
+    install(&mut m, programs(Workload::FalseSharing, 2, page));
+    m.run_until(Nanos::from_us(80)).unwrap();
+    let snap = m.snapshot().unwrap();
+    let bytes = snap.to_bytes();
+
+    assert!(MachineSnapshot::from_bytes(&bytes[..10]).is_err());
+    let mut doctored = bytes.clone();
+    doctored[0] ^= 0xff;
+    assert!(MachineSnapshot::from_bytes(&doctored).is_err(), "bad magic must be rejected");
+
+    // Flip one byte deep inside the blob: diff must name the field.
+    let mut doctored = bytes.clone();
+    let last = doctored.len() - 1;
+    doctored[last] ^= 0xff;
+    let b = MachineSnapshot::from_bytes(&doctored).unwrap();
+    let d = MachineSnapshot::diff(&snap, &b).expect("doctored snapshot must differ");
+    assert!(d.contains("$."), "diff must carry a header path: {d}");
+    assert_eq!(MachineSnapshot::diff(&snap, &snap), None);
+}

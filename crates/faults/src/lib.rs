@@ -237,6 +237,61 @@ impl FaultPlan {
     }
 }
 
+/// Byte tag leading a serialized [`FaultPlan`] state, so a plan never
+/// accepts another hook type's bytes.
+const STATE_TAG: &[u8; 8] = b"VMPFLT\x01\x00";
+
+impl FaultPlan {
+    /// Serializes the plan's mutable state — RNG position and injection
+    /// counters — as little-endian words behind a type tag. The seed and
+    /// rates are *not* included: they are construction parameters, and
+    /// restore verifies the receiving plan was built with the same seed.
+    fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 + 4 * 8 + 6 * 8);
+        out.extend_from_slice(STATE_TAG);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        for word in self.rng.state() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        for v in [
+            self.counts.aborts,
+            self.counts.dropped_words,
+            self.counts.forced_overflows,
+            self.counts.copier_failures,
+            self.counts.stalls,
+            self.counts.stall_time.as_ns(),
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_state(&mut self, state: &[u8]) -> bool {
+        let expected_len = 8 + 8 + 4 * 8 + 6 * 8;
+        if state.len() != expected_len || &state[..8] != STATE_TAG {
+            return false;
+        }
+        let word = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&state[8 + i * 8..16 + i * 8]);
+            u64::from_le_bytes(b)
+        };
+        if word(0) != self.seed {
+            return false;
+        }
+        self.rng = StdRng::from_state([word(1), word(2), word(3), word(4)]);
+        self.counts = InjectionCounts {
+            aborts: word(5),
+            dropped_words: word(6),
+            forced_overflows: word(7),
+            copier_failures: word(8),
+            stalls: word(9),
+            stall_time: Nanos::from_ns(word(10)),
+        };
+        true
+    }
+}
+
 impl FaultHook for FaultPlan {
     fn arbitration_stall(&mut self, _now: Nanos, _tx: &BusTransaction) -> Nanos {
         if self.rates.stall > 0.0 && self.rng.random_bool(self.rates.stall) {
@@ -296,6 +351,14 @@ impl FaultHook for FaultPlan {
         }
         self.counts.copier_failures += u64::from(failures);
         failures
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.encode_state())
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> bool {
+        self.decode_state(state)
     }
 }
 

@@ -59,6 +59,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload (None for other variants).
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// The elements of an array (None for other variants).
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

@@ -204,6 +204,24 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`]; the
+        /// restored stream continues exactly where the original left
+        /// off. The all-zero state (a xoshiro fixed point, never
+        /// produced by seeding) is nudged the same way `from_seed` does.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256** by Blackman & Vigna (public domain).

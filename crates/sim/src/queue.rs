@@ -122,6 +122,42 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Every pending entry as `(time, sequence, event)`, sorted by
+    /// delivery order. The sequence numbers are the queue's internal
+    /// FIFO tie-breakers; feed the list to [`EventQueue::restore`] to
+    /// rebuild an identical queue.
+    pub fn entries(&self) -> Vec<(Nanos, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out: Vec<(Nanos, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| {
+                let Reverse((t, seq)) = e.key;
+                (t, seq, e.event.clone())
+            })
+            .collect();
+        out.sort_by_key(|&(t, seq, _)| (t, seq));
+        out
+    }
+
+    /// The next sequence number the queue will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rebuilds a queue from a captured [`EventQueue::entries`] list and
+    /// [`EventQueue::next_seq`] counter, preserving every entry's
+    /// original tie-breaker so delivery order is bit-identical.
+    pub fn restore(next_seq: u64, entries: Vec<(Nanos, u64, E)>) -> Self {
+        let heap = entries
+            .into_iter()
+            .map(|(t, seq, event)| Entry { key: Reverse((t, seq)), event })
+            .collect();
+        EventQueue { heap, seq: next_seq }
+    }
 }
 
 impl<E> Default for EventQueue<E> {

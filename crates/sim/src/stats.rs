@@ -55,6 +55,12 @@ impl BusyTracker {
             self.busy.as_ns() as f64 / elapsed.as_ns() as f64
         }
     }
+
+    /// Rebuilds a tracker from captured [`BusyTracker::busy`] and
+    /// [`BusyTracker::intervals`] values, for checkpoint restore.
+    pub fn restore(busy: Nanos, intervals: u64) -> Self {
+        BusyTracker { busy, intervals }
+    }
 }
 
 /// A fixed-bucket histogram of nanosecond durations (e.g. miss latencies,
@@ -146,6 +152,31 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Complete internal state for checkpointing, as
+    /// `(bucket_width, counts, overflow, total, sum, max)`.
+    pub fn state(&self) -> (Nanos, Vec<u64>, u64, u64, Nanos, Nanos) {
+        (self.bucket_width, self.counts.clone(), self.overflow, self.total, self.sum, self.max)
+    }
+
+    /// Rebuilds a histogram from a captured [`Histogram::state`] tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `counts` is empty (the same
+    /// invariants [`Histogram::new`] enforces).
+    pub fn restore(
+        bucket_width: Nanos,
+        counts: Vec<u64>,
+        overflow: u64,
+        total: u64,
+        sum: Nanos,
+        max: Nanos,
+    ) -> Self {
+        assert!(bucket_width > Nanos::ZERO, "bucket width must be non-zero");
+        assert!(!counts.is_empty(), "bucket count must be non-zero");
+        Histogram { bucket_width, counts, overflow, total, sum, max }
     }
 }
 

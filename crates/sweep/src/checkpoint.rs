@@ -1,0 +1,297 @@
+//! Per-cell sweep checkpoints: crash-safe resumption of long sweeps.
+//!
+//! A [`SweepCheckpoint`] is an append-only text file with one line per
+//! completed sweep cell: `label<TAB>payload`, both fields escaped so a
+//! line is always a complete record. Re-opening the file after a crash
+//! (or a deliberate interruption) yields the set of finished cells;
+//! [`SweepPool::run_resumable`](crate::SweepPool::run_resumable) then
+//! decodes those results directly and runs only the remaining jobs —
+//! producing the exact result vector the uninterrupted sweep would have,
+//! in submission order.
+//!
+//! The format is deliberately dumb: append-only (a torn final line from
+//! a crash is simply ignored and the cell re-run), text (inspectable
+//! with any pager), and keyed by the job label (which sweeps already
+//! keep unique and human-readable).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// An append-only record of completed sweep cells, keyed by job label.
+#[derive(Debug)]
+pub struct SweepCheckpoint {
+    path: PathBuf,
+    done: BTreeMap<String, String>,
+    file: Mutex<File>,
+}
+
+/// Escapes tabs, newlines and backslashes so any string fits one field.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` for a dangling or unknown escape (a
+/// torn record).
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+impl SweepCheckpoint {
+    /// Opens (creating if absent) the checkpoint at `path` and loads
+    /// every complete record. Malformed or torn lines are skipped — the
+    /// cells they would have named simply re-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors opening or reading the file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut done = BTreeMap::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Some((label, payload)) = line.split_once('\t') else { continue };
+                let (Some(label), Some(payload)) = (unescape(label), unescape(payload)) else {
+                    continue;
+                };
+                // Later records win: a cell recorded twice (e.g. re-run
+                // after a decode failure) keeps its freshest payload.
+                done.insert(label, payload);
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(SweepCheckpoint { path, done, file: Mutex::new(file) })
+    }
+
+    /// The file this checkpoint appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The payload recorded for `label`, if that cell already finished.
+    pub fn payload(&self, label: &str) -> Option<&str> {
+        self.done.get(label).map(String::as_str)
+    }
+
+    /// How many completed cells were loaded at open time.
+    pub fn completed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Appends one completed cell. Safe to call from sweep worker
+    /// threads; each record is written and flushed as a single line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (the sweep itself should continue — a
+    /// checkpoint is an optimization, not a correctness requirement).
+    pub fn record(&self, label: &str, payload: &str) -> std::io::Result<()> {
+        let line = format!("{}\t{}\n", escape(label), escape(payload));
+        let mut file = self.file.lock().expect("checkpoint lock poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+}
+
+impl crate::SweepPool {
+    /// Like [`run`](crate::SweepPool::run), but resumable: jobs whose
+    /// label already has a decodable record in `checkpoint` are *not*
+    /// re-run — their results are decoded straight from the file — and
+    /// every freshly-computed result is recorded as it completes. The
+    /// returned vector is in submission order either way, and (given a
+    /// pure `runner` and faithful `encode`/`decode`) identical to the
+    /// uninterrupted sweep's.
+    ///
+    /// Job labels must be unique; `encode` must produce a string
+    /// `decode` maps back to an equal result. A record `decode` rejects
+    /// is treated as absent and the cell re-runs.
+    pub fn run_resumable<T, R, F, Enc, Dec>(
+        &self,
+        jobs: Vec<SweepJob<T>>,
+        checkpoint: &SweepCheckpoint,
+        runner: F,
+        encode: Enc,
+        decode: Dec,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&SweepJob<T>) -> R + Sync,
+        Enc: Fn(&R) -> String + Sync,
+        Dec: Fn(&str) -> Option<R>,
+    {
+        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+        let mut pending: Vec<SweepJob<T>> = Vec::new();
+        let mut pending_slots: Vec<usize> = Vec::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            match checkpoint.payload(&job.label).and_then(&decode) {
+                Some(result) => slots[i] = Some(result),
+                None => {
+                    pending_slots.push(i);
+                    pending.push(job);
+                }
+            }
+        }
+        let fresh = self.run(pending, |job| {
+            let result = runner(job);
+            if let Err(e) = checkpoint.record(&job.label, &encode(&result)) {
+                eprintln!(
+                    "warning: checkpoint write failed for {:?} ({}): {e}",
+                    job.label,
+                    checkpoint.path().display()
+                );
+            }
+            result
+        });
+        for (i, result) in pending_slots.into_iter().zip(fresh) {
+            slots[i] = Some(result);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("cell {i} has no result")))
+            .collect()
+    }
+}
+
+use crate::SweepJob;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SweepPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vmp-ckpt-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in ["plain", "tab\there", "nl\nthere", "back\\slash", "\r\n\t\\", ""] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "{s:?}");
+        }
+        assert_eq!(unescape("dangling\\"), None);
+        assert_eq!(unescape("bad\\x"), None);
+    }
+
+    #[test]
+    fn resume_skips_completed_cells() {
+        let path = temp_path("skip");
+        let _ = std::fs::remove_file(&path);
+        let jobs = || (0..10).map(|i| SweepJob::new(format!("cell{i}"), i as u64)).collect();
+        let ran = AtomicUsize::new(0);
+        let runner = |j: &SweepJob<u64>| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            j.input * 3
+        };
+        let enc = |r: &u64| r.to_string();
+        let dec = |s: &str| s.parse::<u64>().ok();
+
+        // First pass: half the sweep "completes" (we only submit 5 cells).
+        let ckpt = SweepCheckpoint::open(&path).unwrap();
+        let first: Vec<SweepJob<u64>> =
+            (0..5).map(|i| SweepJob::new(format!("cell{i}"), i)).collect();
+        let out = SweepPool::new().threads(2).run_resumable(first, &ckpt, runner, enc, dec);
+        assert_eq!(out, vec![0, 3, 6, 9, 12]);
+        assert_eq!(ran.swap(0, Ordering::Relaxed), 5);
+
+        // Second pass resumes: the 5 recorded cells decode, 5 new run.
+        let ckpt = SweepCheckpoint::open(&path).unwrap();
+        assert_eq!(ckpt.completed(), 5);
+        let out = SweepPool::new().threads(2).run_resumable(jobs(), &ckpt, runner, enc, dec);
+        assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(ran.load(Ordering::Relaxed), 5, "completed cells must not re-run");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_reruns_that_cell() {
+        let path = temp_path("torn");
+        std::fs::write(&path, "a\t1\nb\t2\nc\t3").unwrap(); // no trailing \n on c…
+                                                            // …but c's record is still structurally complete; tear it harder:
+        std::fs::write(&path, "a\t1\nb\t2\nc\\").unwrap();
+        let ckpt = SweepCheckpoint::open(&path).unwrap();
+        assert_eq!(ckpt.completed(), 2);
+        assert_eq!(ckpt.payload("a"), Some("1"));
+        assert_eq!(ckpt.payload("c"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn undecodable_payload_reruns() {
+        let path = temp_path("undecodable");
+        std::fs::write(&path, "x\tnot-a-number\n").unwrap();
+        let ckpt = SweepCheckpoint::open(&path).unwrap();
+        let jobs = vec![SweepJob::new("x", 7u64)];
+        let out = SweepPool::new().threads(1).run_resumable(
+            jobs,
+            &ckpt,
+            |j| j.input + 1,
+            |r| r.to_string(),
+            |s| s.parse::<u64>().ok(),
+        );
+        assert_eq!(out, vec![8]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumable_matches_plain_run_bit_for_bit() {
+        let path = temp_path("match");
+        let _ = std::fs::remove_file(&path);
+        let jobs = || -> Vec<SweepJob<u64>> {
+            (0..25).map(|i| SweepJob::new(format!("j{i}"), i)).collect()
+        };
+        let runner = |j: &SweepJob<u64>| j.input * j.input;
+        let plain = SweepPool::new().threads(4).run(jobs(), runner);
+        let ckpt = SweepCheckpoint::open(&path).unwrap();
+        let resumable = SweepPool::new().threads(4).run_resumable(
+            jobs(),
+            &ckpt,
+            runner,
+            |r| r.to_string(),
+            |s| s.parse().ok(),
+        );
+        assert_eq!(plain, resumable);
+        // And again, now fully from the checkpoint.
+        let ckpt = SweepCheckpoint::open(&path).unwrap();
+        let resumed = SweepPool::new().threads(4).run_resumable(
+            jobs(),
+            &ckpt,
+            |_| unreachable!("all cells are checkpointed"),
+            |r: &u64| r.to_string(),
+            |s| s.parse().ok(),
+        );
+        assert_eq!(plain, resumed);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -91,6 +91,18 @@ impl FrameAllocator {
     pub fn total_frames(&self) -> u64 {
         self.total
     }
+
+    /// The free list in ascending order, for checkpointing.
+    pub fn free_list(&self) -> Vec<u64> {
+        self.free.iter().copied().collect()
+    }
+
+    /// Replaces the free list with a captured [`FrameAllocator::free_list`]
+    /// so the lowest-first allocation sequence continues identically.
+    /// `total` is unchanged.
+    pub fn restore_free_list(&mut self, free: Vec<u64>) {
+        self.free = free.into_iter().collect();
+    }
 }
 
 #[cfg(test)]

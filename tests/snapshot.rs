@@ -1,0 +1,141 @@
+//! Snapshot/resume through the facade: mid-flight captures under fault
+//! injection must resume to the exact state — oracle-identical memory
+//! and a bit-identical `MachineReport` — the uninterrupted run reaches,
+//! and the committed golden corpus must stay loadable and resumable.
+
+use vmp::faults::{FaultPlan, FaultRates};
+use vmp::machine::workloads::{LockDiscipline, LockWorker, SweepWorker};
+use vmp::machine::{Machine, MachineConfig, MachineSnapshot, Program, WatchdogConfig};
+use vmp::types::{Asid, Nanos, VirtAddr};
+
+fn config() -> MachineConfig {
+    let mut config = MachineConfig::small();
+    config.validate_each_step = false;
+    config.audit_every = Some(64);
+    config.watchdog = Some(WatchdogConfig::default());
+    config.max_time = Nanos::from_ms(60_000);
+    config
+}
+
+/// Fresh programs for the contended mix: two spin-lock fighters plus two
+/// false-sharing sweepers — every consistency-protocol path stays hot.
+fn programs(page: u64) -> Vec<Box<dyn Program>> {
+    let mut out: Vec<Box<dyn Program>> = Vec::new();
+    for _ in 0..2 {
+        out.push(Box::new(LockWorker::new(
+            LockDiscipline::Spin,
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x2000),
+            8,
+            Nanos::from_us(2),
+            Nanos::from_us(3),
+        )));
+    }
+    out.push(Box::new(SweepWorker::new(VirtAddr::new(0x4000), 2 * page / 8, 8, 3, true)));
+    out.push(Box::new(SweepWorker::new(VirtAddr::new(0x4004), 2 * page / 8, 8, 3, true)));
+    out
+}
+
+fn build(faulted: bool) -> Machine {
+    let mut config = config();
+    config.processors = 4;
+    let page = config.cache.page_size().bytes();
+    let mut m = Machine::build(config).unwrap();
+    for (cpu, p) in programs(page).into_iter().enumerate() {
+        m.set_program_boxed(cpu, p).unwrap();
+    }
+    if faulted {
+        m.install_fault_hook(FaultPlan::new(21, FaultRates::heavy()));
+    }
+    m
+}
+
+fn probes(m: &Machine) -> Vec<Option<u32>> {
+    [0x1000u64, 0x2000, 0x4000, 0x4004, 0x4040, 0x4044, 0x40f8, 0x40fc]
+        .iter()
+        .map(|&a| m.peek_word(Asid::new(1), VirtAddr::new(a)))
+        .collect()
+}
+
+/// The tentpole contract, end to end under heavy injected faults: run
+/// halfway (faults pending, FIFO words queued, locks contended),
+/// snapshot, resume in a fresh machine, finish — and land on exactly the
+/// oracle memory and a bit-identical report.
+#[test]
+fn mid_flight_snapshot_under_faults_resumes_exactly() {
+    // The uninterrupted faulted run is the reference…
+    let mut reference = build(true);
+    let want_report = reference.run().unwrap();
+    reference.validate().unwrap();
+    let want_probes = probes(&reference);
+
+    // …and the zero-fault oracle pins the memory words themselves.
+    let mut oracle = build(false);
+    oracle.run().unwrap();
+    assert_eq!(probes(&oracle), want_probes, "faults must never change final memory");
+
+    // Interrupt the same faulted run mid-flight.
+    let mut m = build(true);
+    m.run_until(Nanos::from_us(want_report.elapsed.as_ns() / 2000)).unwrap();
+    let snap = m.snapshot().unwrap();
+    assert!(m.fault_stats().total() > 0, "the cut must land with faults already injected");
+    drop(m);
+
+    // Resume from the serialized bytes in a brand-new machine.
+    let snap = MachineSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let mut cfg = config();
+    cfg.processors = 4;
+    let page = cfg.cache.page_size().bytes();
+    let fresh = programs(page).into_iter().map(Some).collect();
+    let hook = Some(Box::new(FaultPlan::new(21, FaultRates::heavy())) as _);
+    let mut m = Machine::resume(cfg, &snap, fresh, hook).unwrap();
+    let report = m.run().unwrap();
+    m.validate().unwrap();
+
+    assert_eq!(
+        report.to_json().to_string(),
+        want_report.to_json().to_string(),
+        "resumed report must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(probes(&m), want_probes, "resumed memory must match the oracle");
+}
+
+/// A doctored snapshot is distinguishable and `diff` names the field —
+/// the debugging loop the `state-diff` subcommand exposes.
+#[test]
+fn diff_pinpoints_doctored_state() {
+    let mut m = build(true);
+    m.run_until(Nanos::from_us(300)).unwrap();
+    let a = m.snapshot().unwrap();
+    m.run_until(Nanos::from_us(600)).unwrap();
+    let b = m.snapshot().unwrap();
+    let d = MachineSnapshot::diff(&a, &b).expect("states at different times must differ");
+    assert!(d.starts_with("$."), "diff must print a header path, got: {d}");
+    assert_eq!(MachineSnapshot::diff(&a, &a), None);
+    assert_eq!(MachineSnapshot::diff(&b, &b), None);
+}
+
+/// Every committed golden snapshot must load, carry its metadata, and
+/// decode as the version this build writes. (CI additionally
+/// byte-compares a regeneration against the corpus; this test keeps the
+/// corpus at least *readable* wherever the tests run.)
+#[test]
+fn golden_corpus_loads() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("golden/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("vmpsnap") {
+            continue;
+        }
+        seen += 1;
+        let snap =
+            MachineSnapshot::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let meta = snap.meta().unwrap_or_else(|| panic!("{}: no metadata", path.display()));
+        assert!(meta.get("workload").is_some(), "{}: untagged", path.display());
+        // Round-trip: the loaded container re-serializes to the file's bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(snap.to_bytes(), bytes, "{}: container not byte-stable", path.display());
+    }
+    assert!(seen >= 6, "golden corpus has shrunk: {seen} snapshots");
+}
